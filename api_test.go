@@ -1,0 +1,63 @@
+package subthreads_test
+
+import (
+	"testing"
+
+	"subthreads"
+)
+
+// TestPublicAPISynthetic exercises the exported surface end to end with a
+// hand-built program, as examples/quickstart does.
+func TestPublicAPISynthetic(t *testing.T) {
+	producer := subthreads.NewTraceBuilder()
+	producer.ALU(20000)
+	producer.Store(1, 0x1000)
+	consumer := subthreads.NewTraceBuilder()
+	consumer.ALU(15000)
+	consumer.Load(2, 0x1000)
+	consumer.ALU(5000)
+	prog := &subthreads.Program{Units: []subthreads.Unit{
+		{Trace: producer.Finish()},
+		{Trace: consumer.Finish()},
+	}}
+
+	aonCfg := subthreads.DefaultSimConfig()
+	aonCfg.TLS.SubthreadsPerEpoch = 1
+	aonCfg.SubthreadSpacing = 0
+	aon := subthreads.Simulate(aonCfg, prog)
+	sub := subthreads.Simulate(subthreads.DefaultSimConfig(), prog)
+
+	if aon.TLS.PrimaryViolations == 0 || sub.TLS.PrimaryViolations == 0 {
+		t.Fatalf("dependence did not violate: %d / %d",
+			aon.TLS.PrimaryViolations, sub.TLS.PrimaryViolations)
+	}
+	if sub.RewoundInstrs >= aon.RewoundInstrs {
+		t.Errorf("sub-threads rewound %d, all-or-nothing %d", sub.RewoundInstrs, aon.RewoundInstrs)
+	}
+	if sub.Cycles >= aon.Cycles {
+		t.Errorf("sub-threads %d cycles >= all-or-nothing %d", sub.Cycles, aon.Cycles)
+	}
+}
+
+// TestPublicAPITPCC exercises the workload path of the exported surface.
+func TestPublicAPITPCC(t *testing.T) {
+	spec := subthreads.DefaultSpec(subthreads.NewOrder)
+	spec.Scale = subthreads.Scale{Districts: 4, CustomersPerDistrict: 60, Items: 400, OrdersPerDistrict: 30}
+	spec.Txns = 2
+	spec.Warmup = 1
+
+	seq, _ := subthreads.Run(spec, subthreads.Sequential)
+	base, built := subthreads.Run(spec, subthreads.Baseline)
+	if built.Stats.Epochs == 0 {
+		t.Fatal("no speculative threads built")
+	}
+	if s := base.Speedup(seq); s <= 1.0 {
+		t.Errorf("BASELINE speedup = %.2f on NEW ORDER", s)
+	}
+	if len(subthreads.Benchmarks()) != 7 {
+		t.Errorf("Benchmarks() = %d entries", len(subthreads.Benchmarks()))
+	}
+	if subthreads.PaperScale().Items <= subthreads.DefaultScale().Items {
+		t.Error("paper scale must exceed default scale")
+	}
+}

@@ -1,0 +1,368 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§4-5) on the simulated CMP:
+//
+//	-table1     simulation parameters (Table 1, from the live configuration)
+//	-table2     benchmark statistics (Table 2)
+//	-figure5    overall performance of the optimized benchmarks
+//	-figure6    sub-thread count / size sweep
+//	-figure4    selective secondary violations (start table) ablation
+//	-tuning     iterative dependence-removal narrative (§3, Figure 2)
+//	-predictor  dependence-predictor comparison (§2.2)
+//	-victim     speculative victim cache size sweep (§2.1)
+//	-sweep      synthetic thread-size x dependence-count sweep (§1)
+//	-spawn      sub-thread placement policy ablation (§5.1)
+//	-l1track    L1 sub-thread tracking ablation (§2.2)
+//	-checkpoint-cost  register-backup cost sweep (§2.2)
+//	-all        everything above
+//
+// Absolute numbers will not match the paper (the substrate is a from-scratch
+// simulator, not the authors' testbed); the shapes — who wins, by roughly
+// what factor — are the reproduction target. See EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"subthreads/internal/db"
+	"subthreads/internal/report"
+	"subthreads/internal/sim"
+	"subthreads/internal/tls"
+	"subthreads/internal/tpcc"
+	"subthreads/internal/workload"
+)
+
+type options struct {
+	txns   int
+	warmup int
+	seed   int64
+	paper  bool
+	bench  string
+}
+
+func main() {
+	var (
+		table1    = flag.Bool("table1", false, "print Table 1 (simulation parameters)")
+		table2    = flag.Bool("table2", false, "run Table 2 (benchmark statistics)")
+		figure5   = flag.Bool("figure5", false, "run Figure 5 (overall performance)")
+		figure6   = flag.Bool("figure6", false, "run Figure 6 (sub-thread sweep)")
+		figure4   = flag.Bool("figure4", false, "run the Figure 4 start-table ablation")
+		tuning    = flag.Bool("tuning", false, "run the §3 iterative tuning narrative")
+		predictor = flag.Bool("predictor", false, "run the §2.2 dependence-predictor comparison")
+		victim    = flag.Bool("victim", false, "run the §2.1 victim-cache size sweep")
+		sweep     = flag.Bool("sweep", false, "run the §1 synthetic thread-size x dependence sweep")
+		spawn     = flag.Bool("spawn", false, "run the §5.1 sub-thread placement policy ablation")
+		l1track   = flag.Bool("l1track", false, "run the §2.2 L1 sub-thread tracking ablation")
+		ckptCost  = flag.Bool("checkpoint-cost", false, "run the §2.2 register-backup cost sweep")
+		mlp       = flag.Bool("mlp", false, "run the blocking vs non-blocking loads core-model ablation")
+		icache    = flag.Bool("icache", false, "run the instruction-cache core-model ablation")
+		all       = flag.Bool("all", false, "run everything")
+		opts      options
+	)
+	flag.IntVar(&opts.txns, "txns", 8, "measured transactions per benchmark")
+	flag.IntVar(&opts.warmup, "warmup", 2, "warm-up transactions before timing")
+	flag.Int64Var(&opts.seed, "seed", 42, "input generation seed")
+	flag.BoolVar(&opts.paper, "paper", false, "use the full single-warehouse TPC-C scale")
+	flag.StringVar(&opts.bench, "benchmark", "", "restrict to one benchmark (e.g. \"NEW ORDER\")")
+	flag.Parse()
+
+	w := os.Stdout
+	ran := false
+	run := func(enabled bool, fn func(io.Writer, options)) {
+		if enabled || *all {
+			fn(w, opts)
+			ran = true
+		}
+	}
+	run(*table1, printTable1)
+	run(*table2, runTable2)
+	run(*figure5, runFigure5)
+	run(*figure6, runFigure6)
+	run(*figure4, runFigure4)
+	run(*tuning, runTuning)
+	run(*predictor, runPredictor)
+	run(*victim, runVictim)
+	run(*sweep, runSweep)
+	run(*spawn, runSpawn)
+	run(*l1track, runL1Track)
+	run(*ckptCost, runCheckpointCost)
+	run(*mlp, runMLP)
+	run(*icache, runICache)
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func (o options) spec(b tpcc.Benchmark) workload.Spec {
+	spec := workload.DefaultSpec(b)
+	spec.Txns = o.txns
+	spec.Warmup = o.warmup
+	spec.Seed = o.seed
+	if o.paper {
+		spec.Scale = tpcc.PaperScale()
+	}
+	return spec
+}
+
+func (o options) benchmarks(list []tpcc.Benchmark) []tpcc.Benchmark {
+	if o.bench == "" {
+		return list
+	}
+	b, err := tpcc.Parse(o.bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	return []tpcc.Benchmark{b}
+}
+
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n================ %s ================\n\n", title)
+}
+
+// printTable1 reports the live machine configuration — the reproduction of
+// Table 1 is that these ARE the parameters the simulator uses.
+func printTable1(w io.Writer, _ options) {
+	header(w, "TABLE 1: simulation parameters")
+	cfg := sim.DefaultConfig()
+	t := report.NewTable("Parameter", "Value")
+	t.AddRow("Issue width", fmt.Sprintf("%d", cfg.CPU.IssueWidth))
+	t.AddRow("Reorder buffer size", fmt.Sprintf("%d", cfg.CPU.ReorderBuffer))
+	t.AddRow("Integer multiply", fmt.Sprintf("%d cycles", cfg.CPU.Lat.IntMul))
+	t.AddRow("Integer divide", fmt.Sprintf("%d cycles", cfg.CPU.Lat.IntDiv))
+	t.AddRow("All other integer", fmt.Sprintf("%d cycle", cfg.CPU.Lat.ALU))
+	t.AddRow("FP divide", fmt.Sprintf("%d cycles", cfg.CPU.Lat.FPDiv))
+	t.AddRow("FP square root", fmt.Sprintf("%d cycles", cfg.CPU.Lat.FPSqrt))
+	t.AddRow("All other FP", fmt.Sprintf("%d cycles", cfg.CPU.Lat.FPOp))
+	t.AddRow("Branch prediction", fmt.Sprintf("GShare (2^%d counters, %d history bits)",
+		cfg.CPU.BranchTableBits, cfg.CPU.BranchHistoryBits))
+	t.AddRow("Cache line size", "32B")
+	t.AddRow("Data cache", fmt.Sprintf("%dKB, %d-way set-assoc",
+		cfg.Mem.L1Sets*cfg.Mem.L1Ways*32/1024, cfg.Mem.L1Ways))
+	t.AddRow("Unified secondary cache", fmt.Sprintf("%dMB, %d-way set-assoc, %d banks",
+		cfg.TLS.L2Sets*cfg.TLS.L2Ways*32/(1024*1024), cfg.TLS.L2Ways, cfg.Mem.L2Banks))
+	t.AddRow("Speculative victim cache", fmt.Sprintf("%d entry", cfg.TLS.VictimEntries))
+	t.AddRow("Miss latency to secondary cache", fmt.Sprintf("%d cycles", cfg.Mem.L2HitLat))
+	t.AddRow("Miss latency to local memory", fmt.Sprintf("%d cycles", cfg.Mem.MemLat))
+	t.AddRow("Main memory bandwidth", fmt.Sprintf("1 access per %d cycles", cfg.Mem.MemOccupancy))
+	t.AddRow("CPUs", fmt.Sprintf("%d", cfg.CPUs))
+	t.AddRow("Sub-thread contexts per thread (BASELINE)", fmt.Sprintf("%d", cfg.TLS.SubthreadsPerEpoch))
+	t.AddRow("Speculative instructions per sub-thread", fmt.Sprintf("%d", cfg.SubthreadSpacing))
+	fmt.Fprint(w, t.String())
+}
+
+// runTable2 regenerates Table 2: per-benchmark execution time, coverage,
+// thread size, speculative instructions per thread, and threads per
+// transaction.
+func runTable2(w io.Writer, o options) {
+	header(w, "TABLE 2: benchmark statistics")
+	t := report.NewTable("Benchmark", "Exec.Time (Mcycles)", "Coverage",
+		"Avg Thread Size (dyn.instr)", "Spec.Insts per Thread", "Threads per Txn")
+	for _, b := range o.benchmarks(tpcc.All()) {
+		start := time.Now()
+		seqRes, _ := workload.Run(o.spec(b), workload.Sequential)
+		baseRes, built := workload.Run(o.spec(b), workload.Baseline)
+		st := built.Stats
+		// Speculative instructions per thread, net of re-executed work
+		// (rewound instructions were all speculative).
+		specPerThread := 0.0
+		if st.Epochs > 0 {
+			net := float64(baseRes.SpecInstrs) - float64(baseRes.RewoundInstrs)
+			if net < 0 {
+				net = 0
+			}
+			specPerThread = net / float64(st.Epochs)
+		}
+		t.AddRow(b.String(),
+			report.F(float64(seqRes.Cycles)/1e6, 1),
+			fmt.Sprintf("%.0f%%", st.Coverage*100),
+			report.K(st.AvgThreadSize),
+			report.K(specPerThread),
+			report.F(st.ThreadsPerTxn, 1),
+		)
+		fmt.Fprintf(os.Stderr, "table2: %s done in %v\n", b, time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Fprint(w, t.String())
+}
+
+// figure5Experiments is the bar order of Figure 5.
+var figure5Experiments = []workload.Experiment{
+	workload.Sequential,
+	workload.TLSSeq,
+	workload.NoSubthread,
+	workload.Baseline,
+	workload.NoSpeculation,
+}
+
+// runFigure5 regenerates Figure 5: normalized execution-time breakdowns for
+// every benchmark across the five machine configurations.
+func runFigure5(w io.Writer, o options) {
+	header(w, "FIGURE 5: overall performance of optimized benchmarks (4 CPUs)")
+	fmt.Fprintln(w, report.Legend())
+	for _, b := range o.benchmarks(tpcc.All()) {
+		start := time.Now()
+		var rows []report.Row
+		var seq *sim.Result
+		for _, e := range figure5Experiments {
+			res, _ := workload.Run(o.spec(b), e)
+			if e == workload.Sequential {
+				seq = res
+			}
+			rows = append(rows, report.Row{Label: e.String(), Result: res})
+		}
+		fmt.Fprintf(w, "\n(%s)\n", b)
+		fmt.Fprint(w, report.BreakdownBars(rows, seq.Cycles, 4, 60))
+		fmt.Fprint(w, report.SpeedupTable(rows, seq))
+		fmt.Fprintf(os.Stderr, "figure5: %s done in %v\n", b, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// runFigure6 regenerates Figure 6: the number of sub-thread contexts (2, 4,
+// 8) crossed with the sub-thread size (speculative instructions between
+// checkpoints) for the five TLS-profitable benchmarks.
+func runFigure6(w io.Writer, o options) {
+	header(w, "FIGURE 6: varying sub-thread count and size")
+	counts := []int{2, 4, 8}
+	sizes := []uint64{1000, 2500, 5000, 10000, 50000}
+	for _, b := range o.benchmarks(tpcc.TLSProfitable()) {
+		start := time.Now()
+		seq, _ := workload.Run(o.spec(b), workload.Sequential)
+		fmt.Fprintf(w, "\n(%s)  speedup over SEQUENTIAL; * marks the BASELINE configuration\n", b)
+		t := report.NewTable(append([]string{"sub-threads \\ size"},
+			func() []string {
+				var hs []string
+				for _, s := range sizes {
+					hs = append(hs, fmt.Sprintf("%d", s))
+				}
+				return hs
+			}()...)...)
+		for _, n := range counts {
+			row := []string{fmt.Sprintf("%d", n)}
+			for _, size := range sizes {
+				cfg := workload.Machine(workload.Baseline)
+				cfg.TLS.SubthreadsPerEpoch = n
+				cfg.SubthreadSpacing = size
+				res, _ := workload.RunConfig(o.spec(b), cfg)
+				cell := fmt.Sprintf("%.2f", res.Speedup(seq))
+				if n == 8 && size == 5000 {
+					cell += "*"
+				}
+				row = append(row, cell)
+			}
+			t.AddRow(row...)
+		}
+		fmt.Fprint(w, t.String())
+		fmt.Fprintf(os.Stderr, "figure6: %s done in %v\n", b, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// runFigure4 demonstrates the sub-thread start table (Figure 4): with it,
+// secondary violations restart only dependent sub-threads; without it, later
+// epochs fully restart.
+func runFigure4(w io.Writer, o options) {
+	header(w, "FIGURE 4: selective secondary violations via the start table")
+	for _, b := range o.benchmarks([]tpcc.Benchmark{tpcc.NewOrder, tpcc.NewOrder150}) {
+		seq, _ := workload.Run(o.spec(b), workload.Sequential)
+		with, _ := workload.Run(o.spec(b), workload.Baseline)
+		cfg := workload.Machine(workload.Baseline)
+		cfg.TLS.StartTable = false
+		without, _ := workload.RunConfig(o.spec(b), cfg)
+		t := report.NewTable("Configuration", "Speedup", "Rewound instrs", "Secondary violations")
+		t.AddRow("start table ON (Fig 4b)", report.F(with.Speedup(seq), 2),
+			report.I(with.RewoundInstrs), report.I(with.TLS.SecondaryViolations))
+		t.AddRow("start table OFF (Fig 4a)", report.F(without.Speedup(seq), 2),
+			report.I(without.RewoundInstrs), report.I(without.TLS.SecondaryViolations))
+		fmt.Fprintf(w, "\n(%s)\n%s", b, t.String())
+	}
+}
+
+// runTuning walks the §3 iterative parallelization process on NEW ORDER:
+// each optimization level removes the dependence the profiler ranked worst,
+// and (with sub-threads) performance improves step by step — Figure 2's
+// narrative.
+func runTuning(w io.Writer, o options) {
+	header(w, "§3 TUNING: iterative dependence removal on NEW ORDER")
+	spec := o.spec(tpcc.NewOrder)
+	seq, _ := workload.Run(spec, workload.Sequential)
+	levels := []string{
+		"0: unoptimized",
+		"1: +lazy latches",
+		"2: +pinless buffer-pool reads",
+		"3: +per-epoch log buffers",
+		"4: +lock inheritance",
+		"5: +per-CPU allocation pools",
+	}
+	t := report.NewTable("Optimization level", "Speedup (8 sub-threads)", "Speedup (no sub-threads)",
+		"Violations", "Latch stall%")
+	for lvl := 0; lvl < db.NumOptLevels; lvl++ {
+		s := spec
+		s.OptLevel = lvl
+		base, built := workload.RunConfig(s, workload.Machine(workload.Baseline))
+		noSub, _ := workload.RunConfig(s, workload.Machine(workload.NoSubthread))
+		syncPct := 100 * float64(base.Breakdown[sim.Sync]) / float64(base.Breakdown.Total())
+		t.AddRow(levels[lvl],
+			report.F(base.Speedup(seq), 2),
+			report.F(noSub.Speedup(seq), 2),
+			report.I(base.TLS.PrimaryViolations+base.TLS.SecondaryViolations),
+			report.F(syncPct, 1))
+		if lvl == 0 || lvl == db.NumOptLevels-1 {
+			fmt.Fprintf(w, "\nprofile after level %d (top harmful dependences, §3.1):\n%s",
+				lvl, base.Pairs.Report(built.PCs, 5))
+		}
+		fmt.Fprintf(os.Stderr, "tuning: level %d done\n", lvl)
+	}
+	fmt.Fprintf(w, "\n%s", t.String())
+}
+
+// runPredictor compares sub-threads against a Moshovos-style dependence
+// predictor that synchronizes predicted-dependent loads (§2.2): the paper
+// found prediction ineffective for these large threads because only some
+// dynamic instances of a load PC are truly dependent.
+func runPredictor(w io.Writer, o options) {
+	header(w, "§2.2 ABLATION: dependence predictor vs sub-threads")
+	for _, b := range o.benchmarks([]tpcc.Benchmark{tpcc.NewOrder, tpcc.NewOrder150}) {
+		seq, _ := workload.Run(o.spec(b), workload.Sequential)
+		noSub, _ := workload.Run(o.spec(b), workload.NoSubthread)
+		pred, _ := workload.Run(o.spec(b), workload.PredictorSync)
+		base, _ := workload.Run(o.spec(b), workload.Baseline)
+		t := report.NewTable("Configuration", "Speedup", "Violations", "Sync stalls", "Failed%")
+		row := func(label string, r *sim.Result) {
+			failPct := 100 * float64(r.Breakdown[sim.Failed]) / float64(r.Breakdown.Total())
+			t.AddRow(label, report.F(r.Speedup(seq), 2),
+				report.I(r.TLS.PrimaryViolations+r.TLS.SecondaryViolations),
+				report.I(r.PredictorSyncs), report.F(failPct, 1))
+		}
+		row("all-or-nothing TLS", noSub)
+		row("  + dependence predictor", pred)
+		row("8 sub-threads (BASELINE)", base)
+		fmt.Fprintf(w, "\n(%s)\n%s", b, t.String())
+	}
+}
+
+// runVictim sweeps the speculative victim cache size (§2.1): the paper chose
+// 64 entries as "large enough to avoid stalling threads due to cache
+// overflows for our worst case", the largest transaction with 8 sub-threads.
+func runVictim(w io.Writer, o options) {
+	header(w, "§2.1 ABLATION: speculative victim cache size")
+	sizes := []int{0, 4, 16, 64, 256}
+	for _, b := range o.benchmarks([]tpcc.Benchmark{tpcc.DeliveryOuter, tpcc.NewOrder150}) {
+		seq, _ := workload.Run(o.spec(b), workload.Sequential)
+		t := report.NewTable("Victim entries", "Speedup", "Overflow stalls", "Squashes (squash policy)")
+		for _, size := range sizes {
+			cfg := workload.Machine(workload.Baseline)
+			cfg.TLS.VictimEntries = size
+			res, _ := workload.RunConfig(o.spec(b), cfg)
+			cfgSq := cfg
+			cfgSq.TLS.OverflowPolicy = tls.OverflowSquash
+			resSq, _ := workload.RunConfig(o.spec(b), cfgSq)
+			t.AddRow(fmt.Sprintf("%d", size), report.F(res.Speedup(seq), 2),
+				report.I(res.TLS.OverflowStalls), report.I(resSq.TLS.OverflowSquashes))
+		}
+		fmt.Fprintf(w, "\n(%s)\n%s", b, t.String())
+		fmt.Fprintf(os.Stderr, "victim: %s done\n", b)
+	}
+}

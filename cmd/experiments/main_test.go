@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"subthreads/internal/tpcc"
+)
+
+func tinyOptions() options {
+	return options{txns: 1, warmup: 1, seed: 7, bench: "NEW ORDER"}
+}
+
+func TestPrintTable1(t *testing.T) {
+	var b strings.Builder
+	printTable1(&b, tinyOptions())
+	out := b.String()
+	for _, want := range []string{
+		"Issue width", "GShare", "2MB", "64 entry", "75 cycles",
+		"Sub-thread contexts per thread", "5000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBenchmarkFilter(t *testing.T) {
+	o := tinyOptions()
+	got := o.benchmarks(tpcc.All())
+	if len(got) != 1 || got[0] != tpcc.NewOrder {
+		t.Errorf("filter = %v", got)
+	}
+	o.bench = ""
+	if len(o.benchmarks(tpcc.All())) != len(tpcc.All()) {
+		t.Error("empty filter must pass everything through")
+	}
+}
+
+func TestSpecConstruction(t *testing.T) {
+	o := tinyOptions()
+	spec := o.spec(tpcc.StockLevel)
+	if spec.Txns != 1 || spec.Warmup != 1 || spec.Seed != 7 {
+		t.Errorf("spec = %+v", spec)
+	}
+	o.paper = true
+	if o.spec(tpcc.StockLevel).Scale != tpcc.PaperScale() {
+		t.Error("-paper did not select the full scale")
+	}
+}
+
+// TestFigure4Runs exercises one full experiment function end to end with a
+// minimal workload, validating the rendering path.
+func TestFigure4Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three simulations")
+	}
+	var b strings.Builder
+	runFigure4(&b, tinyOptions())
+	out := b.String()
+	if !strings.Contains(out, "start table ON") || !strings.Contains(out, "start table OFF") {
+		t.Errorf("figure 4 output malformed:\n%s", out)
+	}
+}
+
+// TestVictimRuns exercises the victim sweep rendering with one benchmark.
+func TestVictimRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several simulations")
+	}
+	o := tinyOptions()
+	o.bench = "NEW ORDER 150"
+	var b strings.Builder
+	runVictim(&b, o)
+	if !strings.Contains(b.String(), "Victim entries") {
+		t.Errorf("victim output malformed:\n%s", b.String())
+	}
+}

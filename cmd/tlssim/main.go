@@ -1,0 +1,190 @@
+// Command tlssim runs one benchmark on one machine configuration and prints
+// the full measurement: cycle breakdown, speedup vs. a sequential run, TLS
+// protocol statistics, and cache behaviour. It is the single-experiment
+// companion to cmd/experiments.
+//
+// Example:
+//
+//	tlssim -benchmark "NEW ORDER" -experiment BASELINE -txns 8
+//	tlssim -benchmark "DELIVERY OUTER" -subthreads 4 -spacing 10000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"subthreads/internal/report"
+	"subthreads/internal/sim"
+	"subthreads/internal/tpcc"
+	"subthreads/internal/workload"
+)
+
+// summary is the machine-readable form of a run (-json).
+type summary struct {
+	Benchmark        string  `json:"benchmark"`
+	Experiment       string  `json:"experiment"`
+	CPUs             int     `json:"cpus"`
+	Subthreads       int     `json:"subthreads"`
+	Spacing          uint64  `json:"spacing"`
+	Cycles           uint64  `json:"cycles"`
+	SequentialCycles uint64  `json:"sequential_cycles"`
+	Speedup          float64 `json:"speedup"`
+	Busy             uint64  `json:"busy_cycles"`
+	CacheMiss        uint64  `json:"cache_miss_cycles"`
+	Sync             uint64  `json:"sync_cycles"`
+	Failed           uint64  `json:"failed_cycles"`
+	Idle             uint64  `json:"idle_cycles"`
+	Primary          uint64  `json:"primary_violations"`
+	Secondary        uint64  `json:"secondary_violations"`
+	SubthreadStarts  uint64  `json:"subthread_starts"`
+	RewoundInstrs    uint64  `json:"rewound_instrs"`
+	CommittedInstrs  uint64  `json:"committed_instrs"`
+	Epochs           int     `json:"epochs"`
+	Coverage         float64 `json:"coverage"`
+}
+
+func main() {
+	var (
+		benchName  = flag.String("benchmark", "NEW ORDER", "benchmark name (see -list)")
+		expName    = flag.String("experiment", "BASELINE", "SEQUENTIAL | TLS-SEQ | NO SUB-THREAD | BASELINE | NO SPECULATION | PREDICTOR")
+		txns       = flag.Int("txns", 8, "measured transactions")
+		warmup     = flag.Int("warmup", 2, "warm-up transactions")
+		seed       = flag.Int64("seed", 42, "input seed")
+		paper      = flag.Bool("paper", false, "full single-warehouse TPC-C scale")
+		optLevel   = flag.Int("opt", 5, "database optimization level (0-5, §3.2)")
+		subthreads = flag.Int("subthreads", 0, "override sub-thread contexts per thread")
+		spacing    = flag.Uint64("spacing", 0, "override speculative instructions per sub-thread")
+		list       = flag.Bool("list", false, "list benchmarks and experiments")
+		profTop    = flag.Int("profile", 5, "show the top-N violated dependences (§3.1)")
+		jsonOut    = flag.Bool("json", false, "emit the measurement as JSON instead of text")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmarks:")
+		for _, b := range tpcc.All() {
+			fmt.Printf("  %s\n", b)
+		}
+		fmt.Println("experiments:")
+		for e := workload.Experiment(0); e < workload.NumExperiments; e++ {
+			fmt.Printf("  %s\n", e)
+		}
+		return
+	}
+
+	bench, err := tpcc.Parse(*benchName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var exp workload.Experiment = -1
+	for e := workload.Experiment(0); e < workload.NumExperiments; e++ {
+		if e.String() == *expName {
+			exp = e
+		}
+	}
+	if exp < 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (see -list)\n", *expName)
+		os.Exit(2)
+	}
+
+	spec := workload.DefaultSpec(bench)
+	spec.Txns = *txns
+	spec.Warmup = *warmup
+	spec.Seed = *seed
+	spec.OptLevel = *optLevel
+	if *paper {
+		spec.Scale = tpcc.PaperScale()
+	}
+
+	cfg := workload.Machine(exp)
+	if *subthreads > 0 {
+		cfg.TLS.SubthreadsPerEpoch = *subthreads
+	}
+	if *spacing > 0 {
+		cfg.SubthreadSpacing = *spacing
+	}
+
+	seqRes, _ := workload.Run(spec, workload.Sequential)
+	var res *sim.Result
+	var built *workload.Built
+	if exp.SequentialSoftware() {
+		res, built = seqRes, nil
+		_, built = workload.Run(spec, workload.Sequential)
+	} else {
+		built = workload.Build(spec, false)
+		res = sim.Run(cfg, built.Program)
+	}
+
+	if *jsonOut {
+		out := summary{
+			Benchmark:        bench.String(),
+			Experiment:       exp.String(),
+			CPUs:             cfg.CPUs,
+			Subthreads:       cfg.TLS.SubthreadsPerEpoch,
+			Spacing:          cfg.SubthreadSpacing,
+			Cycles:           res.Cycles,
+			SequentialCycles: seqRes.Cycles,
+			Speedup:          res.Speedup(seqRes),
+			Busy:             res.Breakdown[sim.Busy],
+			CacheMiss:        res.Breakdown[sim.CacheMiss],
+			Sync:             res.Breakdown[sim.Sync],
+			Failed:           res.Breakdown[sim.Failed],
+			Idle:             res.Breakdown[sim.Idle],
+			Primary:          res.TLS.PrimaryViolations,
+			Secondary:        res.TLS.SecondaryViolations,
+			SubthreadStarts:  res.TLS.SubthreadStarts,
+			RewoundInstrs:    res.RewoundInstrs,
+			CommittedInstrs:  res.CommittedInstrs,
+		}
+		if built != nil {
+			out.Epochs = built.Stats.Epochs
+			out.Coverage = built.Stats.Coverage
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("benchmark:  %s\n", bench)
+	fmt.Printf("experiment: %s (CPUs=%d, sub-threads=%d, spacing=%d)\n",
+		exp, cfg.CPUs, cfg.TLS.SubthreadsPerEpoch, cfg.SubthreadSpacing)
+	if built != nil {
+		st := built.Stats
+		fmt.Printf("program:    %d txns, %d epochs, coverage %.0f%%, avg thread %.0f instrs\n",
+			st.Txns, st.Epochs, st.Coverage*100, st.AvgThreadSize)
+	}
+	fmt.Printf("\ncycles:     %d (speedup %.2fx over SEQUENTIAL's %d)\n",
+		res.Cycles, res.Speedup(seqRes), seqRes.Cycles)
+
+	fmt.Println("\n" + report.Legend())
+	rows := []report.Row{
+		{Label: "SEQUENTIAL", Result: seqRes},
+		{Label: exp.String(), Result: res},
+	}
+	fmt.Print(report.BreakdownBars(rows, seqRes.Cycles, 4, 60))
+
+	fmt.Printf("\nTLS protocol:\n")
+	fmt.Printf("  primary violations:    %d\n", res.TLS.PrimaryViolations)
+	fmt.Printf("  secondary violations:  %d\n", res.TLS.SecondaryViolations)
+	fmt.Printf("  overflow squashes:     %d\n", res.TLS.OverflowSquashes)
+	fmt.Printf("  sub-thread starts:     %d\n", res.TLS.SubthreadStarts)
+	fmt.Printf("  exposed loads:         %d\n", res.TLS.ExposedLoads)
+	fmt.Printf("  commits:               %d\n", res.TLS.Commits)
+	fmt.Printf("  rewound instructions:  %d\n", res.RewoundInstrs)
+	fmt.Printf("\nmemory:\n")
+	fmt.Printf("  L1 hits/misses:        %d/%d\n", res.L1Hits, res.L1Misses)
+	fmt.Printf("  L2 hits/misses:        %d/%d\n", res.L2Hits, res.L2Misses)
+	fmt.Printf("  branches (mispredict): %d (%d)\n", res.Branches, res.Mispredicts)
+
+	if built != nil && *profTop > 0 && res.TLS.PrimaryViolations > 0 {
+		fmt.Printf("\ndependence profile (§3.1), top %d by failed cycles:\n%s",
+			*profTop, res.Pairs.Report(built.PCs, *profTop))
+	}
+}

@@ -1,0 +1,66 @@
+// TPC-C example: speculatively parallelize the NEW ORDER transaction —
+// the workload that motivates the paper (almost half of TPC-C) — and compare
+// the five machine configurations of Figure 5 on it.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"subthreads"
+	"subthreads/internal/report"
+)
+
+func main() {
+	benchName := flag.String("benchmark", "NEW ORDER", "TPC-C benchmark to run")
+	txns := flag.Int("txns", 6, "measured transactions")
+	flag.Parse()
+
+	var bench subthreads.Benchmark = -1
+	for _, b := range subthreads.Benchmarks() {
+		if b.String() == *benchName {
+			bench = b
+		}
+	}
+	if bench < 0 {
+		fmt.Println("unknown benchmark; options:")
+		for _, b := range subthreads.Benchmarks() {
+			fmt.Println(" ", b)
+		}
+		return
+	}
+
+	spec := subthreads.DefaultSpec(bench)
+	spec.Txns = *txns
+
+	fmt.Printf("running %s: %d transactions on a single TPC-C warehouse\n\n", bench, spec.Txns)
+
+	experiments := []subthreads.Experiment{
+		subthreads.Sequential,
+		subthreads.TLSSeq,
+		subthreads.NoSubthread,
+		subthreads.Baseline,
+		subthreads.NoSpeculation,
+	}
+	var rows []report.Row
+	var seq *subthreads.Result
+	for _, e := range experiments {
+		res, built := subthreads.Run(spec, e)
+		switch e {
+		case subthreads.Sequential:
+			seq = res
+		case subthreads.Baseline:
+			st := built.Stats
+			fmt.Printf("workload: coverage %.0f%%, %.1f speculative threads/txn, avg thread %.0f instrs\n\n",
+				st.Coverage*100, st.ThreadsPerTxn, st.AvgThreadSize)
+		}
+		rows = append(rows, report.Row{Label: e.String(), Result: res})
+	}
+
+	fmt.Println(report.Legend())
+	fmt.Print(report.BreakdownBars(rows, seq.Cycles, 4, 60))
+	fmt.Println()
+	fmt.Print(report.SpeedupTable(rows, seq))
+	fmt.Println("\nthe BASELINE row (8 sub-threads x 5000 instructions) is the paper's")
+	fmt.Println("proposed hardware; NO SPECULATION is its upper bound.")
+}

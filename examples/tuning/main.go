@@ -1,0 +1,117 @@
+// Tuning example: the Figure 2 narrative — iterative performance tuning of a
+// speculatively-parallelized program.
+//
+// Part 1 reproduces Figure 2 exactly with two synthetic threads and two
+// dependences (*p early, *q late): under all-or-nothing TLS, eliminating the
+// early dependence does NOT help (the late one still rewinds everything, and
+// the re-execution even starts later); with sub-threads, every dependence
+// removed improves performance.
+//
+// Part 2 runs the same process on the real workload: the NEW ORDER
+// transaction across the storage engine's optimization levels (§3.2), using
+// the hardware dependence profiler (§3.1) as the guide.
+package main
+
+import (
+	"fmt"
+
+	"subthreads"
+	"subthreads/internal/report"
+)
+
+// figure2Program builds thread 1 (stores *p early, *q late) and thread 2
+// (loads *p early, *q late). Flags remove each dependence, modeling the
+// programmer's tuning edits.
+func figure2Program(depP, depQ bool) *subthreads.Program {
+	const (
+		p = subthreads.Addr(0x1000)
+		q = subthreads.Addr(0x2000)
+		// Private fallbacks when a dependence is "tuned away".
+		p2 = subthreads.Addr(0x11000)
+		q2 = subthreads.Addr(0x12000)
+	)
+	pLoad, qLoad := p2, q2
+	if depP {
+		pLoad = p
+	}
+	if depQ {
+		qLoad = q
+	}
+
+	t1 := subthreads.NewTraceBuilder()
+	t1.ALU(20000)
+	t1.Store(1, p) // *p = ...
+	t1.ALU(4000)
+	t1.Store(2, q) // *q = ...
+	t1.ALU(2000)
+
+	t2 := subthreads.NewTraceBuilder()
+	t2.ALU(4000)
+	t2.Load(3, pLoad) // ... = *p (early in thread 2)
+	t2.ALU(14000)
+	t2.Load(4, qLoad) // ... = *q (late in thread 2)
+	t2.ALU(6000)
+
+	return &subthreads.Program{Units: []subthreads.Unit{
+		{Trace: t1.Finish()},
+		{Trace: t2.Finish()},
+	}}
+}
+
+func main() {
+	fmt.Println("Part 1 — Figure 2: eliminating dependences, with and without sub-threads")
+	fmt.Println()
+
+	allOrNothing := subthreads.DefaultSimConfig()
+	allOrNothing.TLS.SubthreadsPerEpoch = 1
+	allOrNothing.SubthreadSpacing = 0
+	withSub := subthreads.DefaultSimConfig()
+	withSub.SubthreadSpacing = 2000 // fine-grained checkpoints for small threads
+
+	steps := []struct {
+		label      string
+		depP, depQ bool
+	}{
+		{"both dependences (*p and *q)", true, true},
+		{"*p eliminated, *q remains   ", false, true},
+		{"both eliminated             ", false, false},
+	}
+	fmt.Printf("%-32s %18s %18s\n", "program version", "all-or-nothing", "with sub-threads")
+	var aon0, sub0 uint64
+	for i, s := range steps {
+		prog := figure2Program(s.depP, s.depQ)
+		aon := subthreads.Simulate(allOrNothing, prog)
+		sub := subthreads.Simulate(withSub, figure2Program(s.depP, s.depQ))
+		if i == 0 {
+			aon0, sub0 = aon.Cycles, sub.Cycles
+		}
+		fmt.Printf("%-32s %10d cycles %11d cycles   (%.2fx / %.2fx)\n",
+			s.label, aon.Cycles, sub.Cycles,
+			float64(aon0)/float64(aon.Cycles), float64(sub0)/float64(sub.Cycles))
+	}
+	fmt.Println()
+	fmt.Println("without sub-threads, removing the early dependence only delays the")
+	fmt.Println("inevitable full rewind (Figure 2a); with sub-threads each removal")
+	fmt.Println("gradually improves performance (Figure 2b).")
+
+	fmt.Println()
+	fmt.Println("Part 2 — §3.2: profile-guided tuning of NEW ORDER")
+	fmt.Println()
+	spec := subthreads.DefaultSpec(subthreads.NewOrder)
+	spec.Txns = 4
+	spec.Warmup = 1
+	seq, _ := subthreads.Run(spec, subthreads.Sequential)
+	t := report.NewTable("Optimization level", "Speedup", "Violations")
+	for lvl := 0; lvl <= 5; lvl++ {
+		s := spec
+		s.OptLevel = lvl
+		res, built := subthreads.RunConfig(s, subthreads.Machine(subthreads.Baseline))
+		t.AddRow(fmt.Sprintf("%d", lvl), report.F(res.Speedup(seq), 2),
+			report.I(res.TLS.PrimaryViolations+res.TLS.SecondaryViolations))
+		if lvl == 0 {
+			fmt.Println("profiler output at level 0 (what the programmer tunes from):")
+			fmt.Println(res.Pairs.Report(built.PCs, 3))
+		}
+	}
+	fmt.Print(t.String())
+}

@@ -1,0 +1,3 @@
+module subthreads
+
+go 1.22

@@ -1,0 +1,51 @@
+package db
+
+// Costs calibrates the synthetic compute that surrounds each engine
+// operation, standing in for the instructions of the real BerkeleyDB + SQL
+// code paths that our trace generator does not execute natively. The values
+// are chosen so that the TPC-C speculative threads land in the paper's
+// Table 2 size ranges (7.5k–490k dynamic instructions per thread).
+type Costs struct {
+	// BtreeLevel is charged per level of a B+-tree descent.
+	BtreeLevel int
+	// PoolGet is charged per buffer-pool page lookup.
+	PoolGet int
+	// RowRead / RowUpdate wrap record access.
+	RowRead   int
+	RowUpdate int
+	// LeafInsert / LeafDelete wrap leaf modifications.
+	LeafInsert int
+	LeafDelete int
+	// Lock is charged per lock-manager call.
+	Lock int
+	// LogRecord is charged per WAL append.
+	LogRecord int
+	// SQLRow is the SQL-layer overhead per statement row — parsing
+	// cursors, copying tuples, predicate evaluation. This dominates
+	// thread size, as in the paper's workloads.
+	SQLRow int
+	// TxnBegin / TxnCommit wrap transactions. TxnCommit is the cost of a
+	// writing transaction's commit (log flush); read-only commits cost
+	// ReadOnlyCommit.
+	TxnBegin       int
+	TxnCommit      int
+	ReadOnlyCommit int
+}
+
+// DefaultCosts returns the calibrated cost model.
+func DefaultCosts() Costs {
+	return Costs{
+		BtreeLevel:     450,
+		PoolGet:        250,
+		RowRead:        900,
+		RowUpdate:      1100,
+		LeafInsert:     1600,
+		LeafDelete:     1400,
+		Lock:           800,
+		LogRecord:      600,
+		SQLRow:         12000,
+		TxnBegin:       6000,
+		TxnCommit:      30000,
+		ReadOnlyCommit: 5000,
+	}
+}

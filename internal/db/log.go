@@ -1,0 +1,80 @@
+package db
+
+import "subthreads/internal/mem"
+
+// Log is the write-ahead log. Unoptimized, every record append loads and
+// stores the shared log-tail pointer — a dependence between *every* pair of
+// epochs, and the first thing the paper's tuning process removes. With
+// PerEpochLog each context appends to a private buffer, and the tail is only
+// touched by the serial commit flush.
+type Log struct {
+	env  *Env
+	tail mem.Addr
+	lsn  uint64
+
+	bufs    []mem.Addr // per-context buffer base
+	bufOff  []int
+	bufSize int
+}
+
+func newLog(e *Env) *Log {
+	l := &Log{
+		env:     e,
+		tail:    e.misc.AllocLine(),
+		bufSize: 64 * 1024,
+	}
+	l.bufs = make([]mem.Addr, e.cfg.Contexts)
+	l.bufOff = make([]int, e.cfg.Contexts)
+	for i := range l.bufs {
+		l.bufs[i] = e.logReg.Alloc(uint32(l.bufSize), mem.LineSize)
+	}
+	return l
+}
+
+// record appends a log record of the given payload size (in words),
+// emitting the tail update and a handful of body stores.
+func (l *Log) record(c *Ctx, words int) {
+	e := l.env
+	c.work("log.record", e.cfg.Costs.LogRecord)
+	l.lsn++
+	bodyStores := words
+	if bodyStores > 6 {
+		bodyStores = 6 // the rest of the copy is folded into Work above
+	}
+	if e.cfg.Opt.PerEpochLog {
+		base := l.bufs[c.slot]
+		off := &l.bufOff[c.slot]
+		for i := 0; i < bodyStores; i++ {
+			c.rec.Store(e.site("log.buf.store"), base+mem.Addr(*off%l.bufSize))
+			*off += mem.WordSize
+		}
+		return
+	}
+	// Shared tail: the classic cross-epoch dependence.
+	c.rec.Load(e.site("log.tail.load"), l.tail)
+	c.rec.ALU(4)
+	c.rec.Store(e.site("log.tail.store"), l.tail)
+	for i := 0; i < bodyStores; i++ {
+		c.rec.Store(e.site("log.body.store"), l.tail+mem.Addr((i+1)*mem.WordSize))
+	}
+}
+
+// commitFlush emits the serial log flush at transaction commit: the tail is
+// advanced once, covering all buffered records.
+func (l *Log) commitFlush(c *Ctx) {
+	e := l.env
+	c.work("log.flush", 600)
+	c.rec.Load(e.site("log.tail.load"), l.tail)
+	c.rec.ALU(8)
+	c.rec.Store(e.site("log.tail.store"), l.tail)
+	for i := range l.bufOff {
+		l.bufOff[i] = 0
+	}
+}
+
+// LSN returns the current log sequence number (functional bookkeeping).
+func (l *Log) LSN() uint64 { return l.lsn }
+
+// Record is the exported form of record, for workloads that append custom
+// log records.
+func (l *Log) Record(c *Ctx, words int) { l.record(c, words) }

@@ -1,0 +1,130 @@
+// Package isa defines the abstract instruction set used by the trace-driven
+// simulator: the event kinds a simulated program can emit, the functional-unit
+// latencies from Table 1 of the paper, and a registry that hands out stable
+// synthetic program counters for instrumentation sites.
+//
+// The simulator is trace driven, like the one in the paper: the workload
+// substrate (internal/db, internal/tpcc) executes real data-structure code
+// over a simulated address space and records a stream of events; the timing
+// model replays that stream. Instructions are therefore classified only as
+// precisely as the timing model needs.
+package isa
+
+import "fmt"
+
+// Kind classifies a trace event.
+type Kind uint8
+
+const (
+	// ALU is a run of simple integer operations (1-cycle latency each).
+	// Runs are compressed: one event carries a repeat count.
+	ALU Kind = iota
+	// IntMul is an integer multiply (2 cycles, Table 1).
+	IntMul
+	// IntDiv is an integer divide (76 cycles, Table 1).
+	IntDiv
+	// FPOp is a generic floating-point operation (2 cycles, Table 1).
+	FPOp
+	// FPDiv is a floating-point divide (15 cycles, Table 1).
+	FPDiv
+	// FPSqrt is a floating-point square root (20 cycles, Table 1).
+	FPSqrt
+	// Branch is a conditional branch with a recorded outcome; the core
+	// model charges a penalty on mispredictions.
+	Branch
+	// Load reads one word of simulated memory.
+	Load
+	// Store writes one word of simulated memory.
+	Store
+	// LatchAcquire acquires a latch using escaped speculation: a
+	// speculative epoch that finds the latch held by a logically-earlier
+	// uncommitted epoch stalls (the paper's "Latch Stall" category).
+	LatchAcquire
+	// LatchRelease releases a latch acquired with LatchAcquire.
+	LatchRelease
+	numKinds
+)
+
+// NumKinds is the number of distinct event kinds.
+const NumKinds = int(numKinds)
+
+var kindNames = [...]string{
+	ALU:          "alu",
+	IntMul:       "imul",
+	IntDiv:       "idiv",
+	FPOp:         "fp",
+	FPDiv:        "fpdiv",
+	FPSqrt:       "fpsqrt",
+	Branch:       "branch",
+	Load:         "load",
+	Store:        "store",
+	LatchAcquire: "latch-acq",
+	LatchRelease: "latch-rel",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// IsMemory reports whether events of this kind access simulated memory
+// (and therefore participate in dependence tracking).
+func (k Kind) IsMemory() bool {
+	return k == Load || k == Store
+}
+
+// Latencies holds per-kind execution latencies in cycles, mirroring the
+// pipeline parameters of Table 1 in the paper.
+type Latencies struct {
+	ALU    uint32 // all other integer: 1 cycle
+	IntMul uint32 // 2 cycles
+	IntDiv uint32 // 76 cycles
+	FPOp   uint32 // all other FP: 2 cycles
+	FPDiv  uint32 // 15 cycles
+	FPSqrt uint32 // 20 cycles
+	Branch uint32 // 1 cycle when predicted correctly
+
+	// MispredictPenalty is charged when the branch predictor is wrong
+	// (front-end refill of the modeled pipeline).
+	MispredictPenalty uint32
+}
+
+// DefaultLatencies returns the latencies from Table 1 of the paper.
+func DefaultLatencies() Latencies {
+	return Latencies{
+		ALU:               1,
+		IntMul:            2,
+		IntDiv:            76,
+		FPOp:              2,
+		FPDiv:             15,
+		FPSqrt:            20,
+		Branch:            1,
+		MispredictPenalty: 12,
+	}
+}
+
+// Of returns the execution latency for one instruction of kind k.
+// Memory and latch kinds are resolved by the memory system, not here;
+// they report 1 (the issue slot).
+func (l *Latencies) Of(k Kind) uint32 {
+	switch k {
+	case ALU:
+		return l.ALU
+	case IntMul:
+		return l.IntMul
+	case IntDiv:
+		return l.IntDiv
+	case FPOp:
+		return l.FPOp
+	case FPDiv:
+		return l.FPDiv
+	case FPSqrt:
+		return l.FPSqrt
+	case Branch:
+		return l.Branch
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,54 @@
+package isa
+
+// PC is a synthetic program counter. The workload substrate registers one PC
+// per static instrumentation site (a named load, store, or branch in the
+// database engine), so the profiling support of §3.1 — which reports
+// load/store PC pairs to the programmer — has stable, human-readable PCs to
+// work with.
+type PC uint32
+
+// PCRegistry assigns stable PCs to named instrumentation sites. It is not
+// safe for concurrent use; the simulator is single-goroutine by design
+// (a discrete simulation with a global clock).
+type PCRegistry struct {
+	byName map[string]PC
+	names  []string
+	next   PC
+}
+
+// NewPCRegistry returns an empty registry. PC 0 is reserved and never issued
+// so that the zero value of PC means "no site".
+func NewPCRegistry() *PCRegistry {
+	return &PCRegistry{
+		byName: make(map[string]PC),
+		names:  []string{"<none>"},
+		next:   1,
+	}
+}
+
+// Site returns the PC for name, assigning a fresh one on first use.
+// PCs are assigned densely starting at 1, spaced by 4 when converted with
+// Addr to resemble real instruction addresses.
+func (r *PCRegistry) Site(name string) PC {
+	if pc, ok := r.byName[name]; ok {
+		return pc
+	}
+	pc := r.next
+	r.next++
+	r.byName[name] = pc
+	r.names = append(r.names, name)
+	return pc
+}
+
+// Name returns the site name for pc, or "<none>" for the zero PC and
+// "<unknown>" for a PC this registry never issued.
+func (r *PCRegistry) Name(pc PC) string {
+	if int(pc) < len(r.names) {
+		return r.names[pc]
+	}
+	return "<unknown>"
+}
+
+// Len reports how many sites have been registered (excluding the reserved
+// zero PC).
+func (r *PCRegistry) Len() int { return len(r.names) - 1 }

@@ -1,0 +1,118 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometry(t *testing.T) {
+	a := Addr(0x1234)
+	if got := a.Line(); got != 0x1220 {
+		t.Errorf("Line(%v) = %v", a, got)
+	}
+	if got := a.Word(); got != 0x1234 {
+		t.Errorf("Word(%v) = %v", a, got)
+	}
+	b := Addr(0x1236)
+	if got := b.Word(); got != 0x1234 {
+		t.Errorf("Word(%v) = %v", b, got)
+	}
+	if got := a.WordInLine(); got != 5 {
+		t.Errorf("WordInLine(%v) = %d, want 5", a, got)
+	}
+	if got := WordMask(a); got != 1<<5 {
+		t.Errorf("WordMask(%v) = %08b", a, got)
+	}
+}
+
+func TestGeometryProperties(t *testing.T) {
+	f := func(raw uint32) bool {
+		a := Addr(raw)
+		l := a.Line()
+		return l%LineSize == 0 && // aligned
+			a >= l && a < l+LineSize && // contains a
+			a.WordInLine() < WordsPerLine &&
+			WordMask(a) != 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegionAlloc(t *testing.T) {
+	s := NewSpace()
+	r := s.NewRegion("heap", 4096)
+	if r.Base == 0 {
+		t.Fatal("region base must not be 0")
+	}
+	if r.Base%LineSize != 0 {
+		t.Fatalf("region base %v not line aligned", r.Base)
+	}
+	a := r.AllocWords(1)
+	b := r.AllocWords(1)
+	if b != a+WordSize {
+		t.Errorf("sequential word allocs: %v then %v", a, b)
+	}
+	l := r.AllocLine()
+	if l%LineSize != 0 {
+		t.Errorf("AllocLine returned unaligned %v", l)
+	}
+	if !r.Contains(a) || !r.Contains(l) {
+		t.Error("region does not contain its own allocations")
+	}
+	if r.Contains(r.Base + Addr(r.Size)) {
+		t.Error("region claims to contain its one-past-end address")
+	}
+}
+
+func TestRegionExhaustionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on exhaustion")
+		}
+	}()
+	s := NewSpace()
+	r := s.NewRegion("tiny", 64)
+	r.Alloc(128, 4)
+}
+
+func TestBadAlignmentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on non-power-of-two alignment")
+		}
+	}()
+	s := NewSpace()
+	r := s.NewRegion("x", 64)
+	r.Alloc(4, 3)
+}
+
+func TestRegionsDisjoint(t *testing.T) {
+	s := NewSpace()
+	a := s.NewRegion("a", 100) // rounds up to 128
+	b := s.NewRegion("b", 100)
+	if a.Base+Addr(a.Size) > b.Base {
+		t.Errorf("regions overlap: a=[%v,+%d) b=[%v,+%d)", a.Base, a.Size, b.Base, b.Size)
+	}
+	if got := s.RegionOf(a.Base + 4); got != a {
+		t.Errorf("RegionOf inside a = %v", got)
+	}
+	if got := s.RegionOf(b.Base); got != b {
+		t.Errorf("RegionOf inside b = %v", got)
+	}
+	if got := s.RegionOf(0); got != nil {
+		t.Errorf("RegionOf(0) = %v, want nil", got)
+	}
+}
+
+func TestRemaining(t *testing.T) {
+	s := NewSpace()
+	r := s.NewRegion("r", 128)
+	if r.Remaining() != 128 {
+		t.Fatalf("fresh Remaining = %d", r.Remaining())
+	}
+	r.AllocWords(2)
+	if r.Remaining() != 120 {
+		t.Errorf("after 8 bytes, Remaining = %d", r.Remaining())
+	}
+}

@@ -1,0 +1,180 @@
+// Package profile implements the paper's hardware support for profiling
+// violated inter-thread dependences (§3.1):
+//
+//   - Each processor maintains an *exposed load table*: a moderate-sized
+//     direct-mapped table of load PCs indexed by cache tag, updated on every
+//     exposed speculative load.
+//   - When the L2 detects a violation, it pairs the violating store PC with
+//     the exposed load PC looked up by cache tag, and charges the failed
+//     speculation cycles of the rewound sub-thread(s) to that load/store PC
+//     pair.
+//   - The L2 keeps a bounded list of pairs; on overflow the entry with the
+//     least total cycles is reclaimed. A software interface exposes the list
+//     so the programmer can tune away the most harmful dependences (§3.2).
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"subthreads/internal/isa"
+	"subthreads/internal/mem"
+)
+
+// ExposedLoadTable is the per-processor direct-mapped table of exposed load
+// PCs, indexed by cache tag.
+type ExposedLoadTable struct {
+	tags []mem.Addr
+	pcs  []isa.PC
+	mask uint32
+}
+
+// NewExposedLoadTable builds a table with the given number of entries
+// (a power of two).
+func NewExposedLoadTable(entries int) *ExposedLoadTable {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic(fmt.Sprintf("profile: table entries %d not a power of two", entries))
+	}
+	return &ExposedLoadTable{
+		tags: make([]mem.Addr, entries),
+		pcs:  make([]isa.PC, entries),
+		mask: uint32(entries - 1),
+	}
+}
+
+func (t *ExposedLoadTable) index(line mem.Addr) uint32 {
+	return uint32(line/mem.LineSize) & t.mask
+}
+
+// Record notes that the exposed load at pc touched addr's line. A later
+// conflicting entry simply overwrites (direct mapped).
+func (t *ExposedLoadTable) Record(addr mem.Addr, pc isa.PC) {
+	line := addr.Line()
+	i := t.index(line)
+	t.tags[i] = line
+	t.pcs[i] = pc
+}
+
+// Lookup returns the PC of the most recent exposed load of addr's line.
+// ok is false when the entry was overwritten or never recorded.
+func (t *ExposedLoadTable) Lookup(addr mem.Addr) (isa.PC, bool) {
+	line := addr.Line()
+	i := t.index(line)
+	if t.tags[i] != line || t.pcs[i] == 0 {
+		return 0, false
+	}
+	return t.pcs[i], true
+}
+
+// Reset clears the table (on epoch switch).
+func (t *ExposedLoadTable) Reset() {
+	for i := range t.tags {
+		t.tags[i] = 0
+		t.pcs[i] = 0
+	}
+}
+
+// Pair identifies one static cross-thread dependence.
+type Pair struct {
+	LoadPC  isa.PC
+	StorePC isa.PC
+}
+
+// PairStat is one row of the profiler's report.
+type PairStat struct {
+	Pair
+	// FailedCycles is the total failed speculation attributed to this
+	// dependence — the metric the programmer sorts by when tuning (§3.2).
+	FailedCycles uint64
+	// Violations counts how many rewinds this pair caused.
+	Violations uint64
+}
+
+// PairList is the L2-resident bounded list of load/store PC pairs with
+// attributed failed-speculation cycles.
+type PairList struct {
+	capacity int
+	pairs    map[Pair]*PairStat
+
+	// Reclaimed counts evictions forced by the capacity bound.
+	Reclaimed uint64
+}
+
+// NewPairList builds a list bounded to capacity entries.
+func NewPairList(capacity int) *PairList {
+	if capacity < 1 {
+		panic("profile: pair list capacity < 1")
+	}
+	return &PairList{capacity: capacity, pairs: make(map[Pair]*PairStat)}
+}
+
+// Attribute charges cycles of failed speculation to the load/store pair.
+// When the list is full, the entry with the least total cycles is reclaimed
+// to make room (§3.1).
+func (l *PairList) Attribute(p Pair, cycles uint64) {
+	if st := l.pairs[p]; st != nil {
+		st.FailedCycles += cycles
+		st.Violations++
+		return
+	}
+	if len(l.pairs) >= l.capacity {
+		var worst Pair
+		min := ^uint64(0)
+		for pair, st := range l.pairs {
+			if st.FailedCycles < min {
+				min = st.FailedCycles
+				worst = pair
+			}
+		}
+		delete(l.pairs, worst)
+		l.Reclaimed++
+	}
+	l.pairs[p] = &PairStat{Pair: p, FailedCycles: cycles, Violations: 1}
+}
+
+// Len reports the number of tracked pairs.
+func (l *PairList) Len() int { return len(l.pairs) }
+
+// Top returns up to n pairs ordered by decreasing failed cycles — the
+// software interface the programmer tunes from.
+func (l *PairList) Top(n int) []PairStat {
+	out := make([]PairStat, 0, len(l.pairs))
+	for _, st := range l.pairs {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].FailedCycles != out[j].FailedCycles {
+			return out[i].FailedCycles > out[j].FailedCycles
+		}
+		if out[i].LoadPC != out[j].LoadPC {
+			return out[i].LoadPC < out[j].LoadPC
+		}
+		return out[i].StorePC < out[j].StorePC
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// TotalFailedCycles sums the attributed cycles across all tracked pairs.
+func (l *PairList) TotalFailedCycles() uint64 {
+	var sum uint64
+	for _, st := range l.pairs {
+		sum += st.FailedCycles
+	}
+	return sum
+}
+
+// Report renders the top n dependences with site names resolved through the
+// PC registry, mimicking the profile the paper's programmer iterates on.
+func (l *PairList) Report(reg *isa.PCRegistry, n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-10s  %-34s -> %-34s\n", "failed(cyc)", "violations", "load site", "store site")
+	for _, st := range l.Top(n) {
+		fmt.Fprintf(&b, "%-12d %-10d  %-34s -> %-34s\n",
+			st.FailedCycles, st.Violations, reg.Name(st.LoadPC), reg.Name(st.StorePC))
+	}
+	return b.String()
+}

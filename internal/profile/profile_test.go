@@ -1,0 +1,101 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"subthreads/internal/isa"
+	"subthreads/internal/mem"
+)
+
+func TestExposedLoadTable(t *testing.T) {
+	tbl := NewExposedLoadTable(8)
+	a := mem.Addr(0x100)
+	tbl.Record(a+4, 7) // same line as a
+	pc, ok := tbl.Lookup(a)
+	if !ok || pc != 7 {
+		t.Fatalf("Lookup = %v,%v", pc, ok)
+	}
+	if _, ok := tbl.Lookup(0x900); ok {
+		t.Error("lookup of unrecorded line hit")
+	}
+	tbl.Reset()
+	if _, ok := tbl.Lookup(a); ok {
+		t.Error("lookup after Reset hit")
+	}
+}
+
+func TestExposedLoadTableConflict(t *testing.T) {
+	tbl := NewExposedLoadTable(2) // lines 0 and 2 collide
+	l0 := mem.Addr(0 * mem.LineSize)
+	l2 := mem.Addr(2 * mem.LineSize)
+	tbl.Record(l0, 1)
+	tbl.Record(l2, 2) // evicts l0 (direct mapped)
+	if _, ok := tbl.Lookup(l0); ok {
+		t.Error("conflicting entry survived")
+	}
+	if pc, ok := tbl.Lookup(l2); !ok || pc != 2 {
+		t.Errorf("winner lost: %v,%v", pc, ok)
+	}
+}
+
+func TestExposedLoadTableValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two size did not panic")
+		}
+	}()
+	NewExposedLoadTable(3)
+}
+
+func TestPairListAttribution(t *testing.T) {
+	l := NewPairList(4)
+	p := Pair{LoadPC: 1, StorePC: 2}
+	l.Attribute(p, 100)
+	l.Attribute(p, 50)
+	top := l.Top(10)
+	if len(top) != 1 || top[0].FailedCycles != 150 || top[0].Violations != 2 {
+		t.Fatalf("top = %+v", top)
+	}
+	if l.TotalFailedCycles() != 150 {
+		t.Errorf("TotalFailedCycles = %d", l.TotalFailedCycles())
+	}
+}
+
+func TestPairListOrdering(t *testing.T) {
+	l := NewPairList(8)
+	l.Attribute(Pair{1, 2}, 10)
+	l.Attribute(Pair{3, 4}, 1000)
+	l.Attribute(Pair{5, 6}, 100)
+	top := l.Top(2)
+	if len(top) != 2 || top[0].Pair != (Pair{3, 4}) || top[1].Pair != (Pair{5, 6}) {
+		t.Errorf("Top(2) = %+v", top)
+	}
+}
+
+func TestPairListReclaimsLeastCycles(t *testing.T) {
+	l := NewPairList(2)
+	l.Attribute(Pair{1, 1}, 500)
+	l.Attribute(Pair{2, 2}, 10) // the cheap one
+	l.Attribute(Pair{3, 3}, 300)
+	if l.Len() != 2 || l.Reclaimed != 1 {
+		t.Fatalf("Len=%d Reclaimed=%d", l.Len(), l.Reclaimed)
+	}
+	for _, st := range l.Top(10) {
+		if st.Pair == (Pair{2, 2}) {
+			t.Error("least-cycles entry survived reclamation")
+		}
+	}
+}
+
+func TestPairListReport(t *testing.T) {
+	reg := isa.NewPCRegistry()
+	load := reg.Site("btree.leaf.nentries.load")
+	store := reg.Site("btree.leaf.nentries.store")
+	l := NewPairList(4)
+	l.Attribute(Pair{LoadPC: load, StorePC: store}, 1234)
+	rep := l.Report(reg, 5)
+	if !strings.Contains(rep, "btree.leaf.nentries.load") || !strings.Contains(rep, "1234") {
+		t.Errorf("report missing content:\n%s", rep)
+	}
+}

@@ -1,0 +1,143 @@
+// Package report renders experiment results the way the paper presents
+// them: normalized execution-time breakdown bars (Figure 5/6), benchmark
+// statistics tables (Table 2), and speedup summaries — as fixed-width text
+// suitable for terminals and EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"subthreads/internal/sim"
+)
+
+// Row is one experiment outcome to render.
+type Row struct {
+	Label  string
+	Result *sim.Result
+}
+
+// barGlyphs maps each cycle category to the glyph used in text bars.
+var barGlyphs = [sim.NumCategories]byte{
+	sim.Busy:      '#',
+	sim.CacheMiss: 'm',
+	sim.Sync:      's',
+	sim.Failed:    'x',
+	sim.Idle:      '.',
+}
+
+// Legend explains the bar glyphs.
+func Legend() string {
+	return "legend: # busy   m cache miss   s latch/sync stall   x failed speculation   . idle"
+}
+
+// BreakdownBars renders one normalized-breakdown bar per row, scaled so the
+// reference (first row by convention, usually SEQUENTIAL) is `width` glyphs
+// long, mirroring the stacked bars of Figure 5.
+func BreakdownBars(rows []Row, refCycles uint64, machineCPUs, width int) string {
+	var b strings.Builder
+	for _, r := range rows {
+		norm := r.Result.NormalizedBreakdown(refCycles, machineCPUs)
+		var bar strings.Builder
+		total := 0.0
+		for cat := sim.Category(0); cat < sim.NumCategories; cat++ {
+			total += norm[cat]
+			n := int(norm[cat]*float64(width) + 0.5)
+			for i := 0; i < n; i++ {
+				bar.WriteByte(barGlyphs[cat])
+			}
+		}
+		fmt.Fprintf(&b, "%-16s %5.2f |%s\n", r.Label, total, bar.String())
+	}
+	return b.String()
+}
+
+// SpeedupTable renders per-row speedups against a reference result.
+func SpeedupTable(rows []Row, ref *sim.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %10s %9s %12s %12s %10s\n",
+		"experiment", "Mcycles", "speedup", "violations", "failed%", "sync%")
+	for _, r := range rows {
+		res := r.Result
+		total := float64(res.Breakdown.Total())
+		failPct, syncPct := 0.0, 0.0
+		if total > 0 {
+			failPct = 100 * float64(res.Breakdown[sim.Failed]) / total
+			syncPct = 100 * float64(res.Breakdown[sim.Sync]) / total
+		}
+		fmt.Fprintf(&b, "%-16s %10.2f %8.2fx %12d %11.1f%% %9.1f%%\n",
+			r.Label, float64(res.Cycles)/1e6, res.Speedup(ref),
+			res.TLS.PrimaryViolations+res.TLS.SecondaryViolations, failPct, syncPct)
+	}
+	return b.String()
+}
+
+// Table is a minimal fixed-width table builder.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.header) {
+		cells = append(cells, "")
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// String renders the table with column-aligned, right-justified cells
+// (left-justified first column).
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				fmt.Fprintf(&b, "%*s", widths[i], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// F formats a float with the given precision (helper for table cells).
+func F(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
+
+// K formats an instruction count in thousands, as Table 2 does ("62k").
+func K(v float64) string { return fmt.Sprintf("%.0fk", v/1000) }
+
+// I formats an integer cell.
+func I(v uint64) string { return fmt.Sprintf("%d", v) }

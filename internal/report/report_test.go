@@ -1,0 +1,88 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"subthreads/internal/sim"
+)
+
+func fakeResult(cycles uint64, busy, idle uint64) *sim.Result {
+	r := &sim.Result{Cycles: cycles}
+	r.Breakdown[sim.Busy] = busy
+	r.Breakdown[sim.Idle] = idle
+	return r
+}
+
+func TestBreakdownBars(t *testing.T) {
+	ref := fakeResult(100, 100, 300) // 1 CPU busy, 3 idle on a 4-CPU machine
+	rows := []Row{{Label: "SEQUENTIAL", Result: ref}}
+	out := BreakdownBars(rows, ref.Cycles, 4, 40)
+	if !strings.Contains(out, "SEQUENTIAL") {
+		t.Fatalf("missing label:\n%s", out)
+	}
+	bar := out[strings.Index(out, "|")+1:]
+	// 25% busy, 75% idle of a 40-glyph bar.
+	if got := strings.Count(bar, "#"); got != 10 {
+		t.Errorf("busy glyphs = %d, want 10\n%s", got, out)
+	}
+	if got := strings.Count(bar, "."); got != 30 {
+		t.Errorf("idle glyphs = %d, want 30\n%s", got, out)
+	}
+	// A half-time run renders a half-length bar.
+	fast := fakeResult(50, 150, 50)
+	out = BreakdownBars([]Row{{Label: "FAST", Result: fast}}, ref.Cycles, 4, 40)
+	bar = out[strings.Index(out, "|")+1:]
+	if total := strings.Count(bar, "#") + strings.Count(bar, "."); total != 20 {
+		t.Errorf("half-time bar length = %d, want 20\n%s", total, out)
+	}
+}
+
+func TestSpeedupTable(t *testing.T) {
+	ref := fakeResult(100, 100, 0)
+	fast := fakeResult(50, 200, 0)
+	out := SpeedupTable([]Row{{Label: "X", Result: fast}}, ref)
+	if !strings.Contains(out, "2.00x") {
+		t.Errorf("missing speedup:\n%s", out)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("Benchmark", "Coverage", "Size")
+	tb.AddRow("NEW ORDER", F(0.78, 2), K(62000))
+	tb.AddRow("short") // padded
+	out := tb.String()
+	if !strings.Contains(out, "NEW ORDER") || !strings.Contains(out, "0.78") || !strings.Contains(out, "62k") {
+		t.Errorf("table content wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table has %d lines, want header+rule+2 rows", len(lines))
+	}
+	// Column alignment: all lines equal length is not required, but the
+	// header rule must be as long as the header.
+	if len(lines[1]) < len("Benchmark") {
+		t.Error("rule too short")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if K(62345) != "62k" {
+		t.Errorf("K = %q", K(62345))
+	}
+	if F(1.234, 1) != "1.2" {
+		t.Errorf("F = %q", F(1.234, 1))
+	}
+	if I(42) != "42" {
+		t.Errorf("I = %q", I(42))
+	}
+}
+
+func TestLegendMentionsAllCategories(t *testing.T) {
+	l := Legend()
+	for _, want := range []string{"busy", "cache miss", "sync", "failed", "idle"} {
+		if !strings.Contains(l, want) {
+			t.Errorf("legend missing %q", want)
+		}
+	}
+}

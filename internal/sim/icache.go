@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"subthreads/internal/cache"
+	"subthreads/internal/isa"
+	"subthreads/internal/mem"
+)
+
+// Instruction-fetch model (optional, MemParams.ModelICache).
+//
+// Recorded traces carry data addresses but no code addresses, so the fetch
+// stream is synthesized from the instrumentation-site PCs the events do
+// carry: each static site owns a small code footprint (a handful of lines),
+// fetch walks the current site's footprint sequentially as instructions
+// issue, and a PC change is a transfer to another site's footprint. Database
+// code famously has a large instruction working set (the paper cites
+// Keeton's thesis); with hundreds of sites per transaction the synthetic
+// footprint exceeds the 32KB L1I exactly the way real engine code does.
+
+// iCodeBase places synthetic code high in the address space, far from data.
+const iCodeBase = mem.Addr(0xC0000000)
+
+// iSiteLines is each site's code footprint in cache lines (4 lines = 32
+// instructions at 4 bytes each — a small basic-block cluster).
+const iSiteLines = 4
+
+// iFetchGroup is how many instructions one fetched line supplies.
+const iFetchGroup = 8
+
+type ifetcher struct {
+	l1i      *cache.Cache
+	curSite  isa.PC
+	curLine  int
+	sinceFet uint32
+}
+
+func newIFetcher(p MemParams) *ifetcher {
+	return &ifetcher{
+		l1i: cache.New(cache.Config{
+			Name: "L1i",
+			Sets: p.L1ISets,
+			Ways: p.L1IWays,
+		}),
+	}
+}
+
+func siteLine(pc isa.PC, n int) mem.Addr {
+	return iCodeBase + mem.Addr(pc)*iSiteLines*mem.LineSize + mem.Addr(n)*mem.LineSize
+}
+
+// fetch accounts the instruction fetch for an event of n instructions at pc
+// (0 = continuation of the current site) and returns the front-end stall
+// cycles its misses cost.
+func (f *ifetcher) fetch(m *machine, pc isa.PC, n uint32) uint64 {
+	var stall uint64
+	if pc != 0 && pc != f.curSite {
+		// Transfer to another site's footprint.
+		f.curSite = pc
+		f.curLine = 0
+		f.sinceFet = 0
+		stall += f.access(m, siteLine(pc, 0))
+	}
+	f.sinceFet += n
+	for f.sinceFet >= iFetchGroup {
+		f.sinceFet -= iFetchGroup
+		f.curLine = (f.curLine + 1) % iSiteLines
+		stall += f.access(m, siteLine(f.curSite, f.curLine))
+	}
+	return stall
+}
+
+// access looks the line up in the L1I; misses cost the L2 latency (code is
+// read-only and L2-resident after its first-ever touch, which costs memory
+// latency).
+func (f *ifetcher) access(m *machine, line mem.Addr) uint64 {
+	if f.l1i.Lookup(cache.Entry{Line: line, Ver: 0}) {
+		m.res.L1IHits++
+		return 0
+	}
+	m.res.L1IMisses++
+	f.l1i.Insert(cache.Entry{Line: line, Ver: 0}, nil)
+	lat := m.cfg.Mem.L2HitLat
+	if !m.iTouched[line] {
+		// First-ever touch anywhere on the chip: the code line comes
+		// from memory; thereafter it is L2 resident (code is shared
+		// and read-only).
+		m.iTouched[line] = true
+		lat += m.cfg.Mem.MemLat
+	}
+	return lat
+}

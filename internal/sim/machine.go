@@ -1,0 +1,577 @@
+package sim
+
+import (
+	"fmt"
+
+	"subthreads/internal/cache"
+	"subthreads/internal/cpu"
+	"subthreads/internal/isa"
+	"subthreads/internal/mem"
+	"subthreads/internal/predict"
+	"subthreads/internal/profile"
+	"subthreads/internal/tls"
+	"subthreads/internal/trace"
+)
+
+// core is the per-CPU state machine.
+type core struct {
+	id     int
+	gshare *cpu.GShare
+	l1     *cache.Cache
+	elt    *profile.ExposedLoadTable
+
+	// Current work.
+	unit   int // index into program units; -1 when idle
+	epoch  *tls.Epoch
+	cursor *trace.Cursor
+
+	// Sub-thread checkpoints: checkpoints[ctx] is the trace position the
+	// context restarts from; ctxCycles[ctx] accrues cycles for failed-
+	// speculation reclassification.
+	checkpoints []trace.Pos
+	ctxCycles   []Breakdown
+	nextSpawnAt uint64
+
+	// l1Flags marks lines this epoch has already notified the L2 about
+	// (first speculative load); l1Mod maps lines it speculatively wrote
+	// to the earliest writing sub-thread context (invalidated from L1 on
+	// a violation, §2.2 — all of them without L1SubthreadTracking, only
+	// the rewound contexts' lines with it).
+	l1Flags map[mem.Addr]struct{}
+	l1Mod   map[mem.Addr]int
+
+	// spacing is the effective sub-thread spacing for this epoch
+	// (per-epoch under SpawnAdaptive).
+	spacing uint64
+
+	// overflowWait is set when speculative state could not be buffered:
+	// the epoch stalls until an earlier epoch commits (§2.1).
+	overflowWait    bool
+	overflowCommits uint64
+
+	// Outstanding load miss (NonBlockingLoads): execution may run ahead
+	// until the reorder buffer fills, then stalls for the remainder.
+	missUntil  uint64
+	missBudget int
+
+	ifetch *ifetcher // nil unless MemParams.ModelICache
+
+	stallUntil uint64
+	stallCat   Category
+
+	done     bool // trace finished, waiting for homefree token
+	syncing  bool // waiting on a latch or predictor synchronization
+	syncPC   isa.PC
+	syncAddr mem.Addr
+	predSync bool // current sync is predictor-driven
+}
+
+// machine is one run of the simulator.
+type machine struct {
+	cfg    Config
+	prog   *Program
+	engine *tls.Engine
+	cores  []*core
+
+	l2Banks   *cache.Banks
+	memBanks  *cache.Banks
+	pred      *predict.Predictor
+	spawnPred *predict.Predictor // trains sub-thread placement (SpawnPredictor)
+	pairs     *profile.PairList
+
+	iTouched map[mem.Addr]bool // code lines ever fetched (ModelICache)
+
+	cycle       uint64
+	nextUnit    int
+	barrierLive bool // a barrier unit has started and not committed
+	committed   int  // units fully committed
+	epochByPtr  map[*tls.Epoch]*core
+
+	res Result
+}
+
+// Run executes the program on the configured machine and returns the
+// measured result.
+func Run(cfg Config, prog *Program) *Result {
+	m := newMachine(cfg, prog)
+	m.run()
+	return m.finish()
+}
+
+func newMachine(cfg Config, prog *Program) *machine {
+	if cfg.CPUs < 1 {
+		panic("sim: CPUs < 1")
+	}
+	tcfg := cfg.TLS
+	tcfg.CPUs = cfg.CPUs
+	m := &machine{
+		cfg:        cfg,
+		prog:       prog,
+		engine:     tls.NewEngine(tcfg),
+		l2Banks:    cache.NewBanks(cfg.Mem.L2Banks, cfg.Mem.L2BankOccupancy),
+		memBanks:   cache.NewBanks(1, cfg.Mem.MemOccupancy),
+		pairs:      profile.NewPairList(cfg.PairListEntries),
+		epochByPtr: make(map[*tls.Epoch]*core),
+		iTouched:   make(map[mem.Addr]bool),
+	}
+	if cfg.UsePredictor {
+		m.pred = predict.New()
+	}
+	if cfg.Spawn == SpawnPredictor {
+		m.spawnPred = predict.New()
+	}
+	for i := 0; i < cfg.CPUs; i++ {
+		m.cores = append(m.cores, &core{
+			id:     i,
+			gshare: cpu.NewGShare(cfg.CPU.BranchTableBits, cfg.CPU.BranchHistoryBits),
+			l1: cache.New(cache.Config{
+				Name: fmt.Sprintf("L1d-%d", i),
+				Sets: cfg.Mem.L1Sets,
+				Ways: cfg.Mem.L1Ways,
+			}),
+			elt:     profile.NewExposedLoadTable(cfg.ExposedTableEntries),
+			unit:    -1,
+			l1Flags: make(map[mem.Addr]struct{}),
+			l1Mod:   make(map[mem.Addr]int),
+		})
+		if cfg.Mem.ModelICache {
+			m.cores[i].ifetch = newIFetcher(cfg.Mem)
+		}
+	}
+	return m
+}
+
+func (m *machine) run() {
+	deadlock := m.cfg.LatchDeadlockCycles
+	if deadlock == 0 {
+		deadlock = 50000
+	}
+	var allSyncSince uint64
+	syncRun := false
+	for m.committed < len(m.prog.Units) {
+		for _, c := range m.cores {
+			m.step(c)
+		}
+		m.cycle++
+
+		// Latch-deadlock watchdog: if every core with work is stuck in
+		// a synchronization wait for too long, break the cycle by
+		// squashing the youngest epoch that holds a latch.
+		busy, stuck := 0, 0
+		for _, c := range m.cores {
+			if c.epoch != nil && !c.done {
+				busy++
+				if c.syncing && !c.predSync {
+					stuck++
+				}
+			}
+		}
+		if busy > 0 && busy == stuck {
+			if !syncRun {
+				syncRun = true
+				allSyncSince = m.cycle
+			} else if m.cycle-allSyncSince > deadlock {
+				m.breakDeadlock()
+				syncRun = false
+			}
+		} else {
+			syncRun = false
+		}
+	}
+	m.res.Cycles = m.cycle
+}
+
+// breakDeadlock squashes the youngest live epoch holding a latch.
+func (m *machine) breakDeadlock() {
+	var victim *core
+	for _, c := range m.cores {
+		if c.epoch == nil {
+			continue
+		}
+		if victim == nil || c.epoch.ID > victim.epoch.ID {
+			victim = c
+		}
+	}
+	if victim == nil {
+		return
+	}
+	m.res.LatchDeadlockBreaks++
+	sqs := m.engine.ForceSquash(victim.epoch, 0, tls.Secondary)
+	m.applySquashes(sqs)
+}
+
+// accrue charges one cycle to the core in the given category, recording it
+// against the current sub-thread context for later failed-speculation
+// reclassification.
+func (m *machine) accrue(c *core, cat Category) {
+	m.res.Breakdown[cat]++
+	if c.epoch != nil && int(c.epoch.CurCtx) < len(c.ctxCycles) {
+		c.ctxCycles[c.epoch.CurCtx][cat]++
+	}
+}
+
+// step advances one core by one cycle.
+func (m *machine) step(c *core) {
+	if c.epoch == nil {
+		if !m.tryStart(c) {
+			m.res.Breakdown[Idle]++
+			return
+		}
+	}
+	if m.cycle < c.stallUntil {
+		m.accrue(c, c.stallCat)
+		return
+	}
+	if c.overflowWait {
+		// Buffer-overflow stall (§2.1): resume once an earlier epoch
+		// has committed (freeing ways) or we hold the homefree token.
+		if m.engine.Oldest() == c.epoch || m.engine.Stats.Commits > c.overflowCommits {
+			c.overflowWait = false
+		} else {
+			m.accrue(c, Sync)
+			return
+		}
+	}
+	if c.syncing {
+		m.retrySync(c)
+		return
+	}
+	if c.done {
+		m.finishEpoch(c)
+		return
+	}
+	// Barrier units execute only when non-speculative.
+	if m.prog.Units[c.unit].Barrier && m.engine.Oldest() != c.epoch {
+		m.accrue(c, Idle)
+		return
+	}
+	m.execute(c)
+}
+
+// tryStart assigns the next program unit to a free core, respecting barrier
+// ordering.
+func (m *machine) tryStart(c *core) bool {
+	if m.nextUnit >= len(m.prog.Units) || m.barrierLive {
+		return false
+	}
+	u := m.prog.Units[m.nextUnit]
+	c.unit = m.nextUnit
+	m.nextUnit++
+	if u.Barrier {
+		m.barrierLive = true
+	}
+	c.epoch = m.engine.StartEpoch(uint64(c.unit), c.id)
+	m.epochByPtr[c.epoch] = c
+	c.cursor = trace.NewCursor(u.Trace)
+	c.checkpoints = append(c.checkpoints[:0], c.cursor.Pos())
+	c.ctxCycles = append(c.ctxCycles[:0], Breakdown{})
+	c.spacing = m.effectiveSpacing(u.Trace)
+	c.nextSpawnAt = c.spacing
+	c.done = false
+	c.syncing = false
+	c.overflowWait = false
+	c.missUntil = 0
+	clear(c.l1Flags)
+	clear(c.l1Mod)
+	c.elt.Reset()
+	if !u.Barrier {
+		m.res.EpochCount++
+	}
+	return true
+}
+
+// finishEpoch handles a core whose epoch has consumed its whole trace: it
+// waits for the homefree token, then commits.
+func (m *machine) finishEpoch(c *core) {
+	if m.engine.Oldest() != c.epoch {
+		m.accrue(c, Idle) // waiting to commit
+		return
+	}
+	if m.prog.Units[c.unit].Barrier {
+		m.barrierLive = false
+	}
+	_, sqs := m.engine.CommitOldest()
+	delete(m.epochByPtr, c.epoch)
+	m.applySquashes(sqs)
+	m.res.CommittedInstrs += c.cursor.Trace().Instrs()
+	m.committed++
+	c.epoch = nil
+	c.cursor = nil
+	c.unit = -1
+	if m.cfg.CommitPenalty > 0 {
+		c.stallUntil = m.cycle + m.cfg.CommitPenalty
+		c.stallCat = Busy
+	}
+	m.res.Breakdown[Busy]++ // the commit cycle itself
+}
+
+// retrySync re-attempts a stalled synchronization (latch acquire or
+// predictor-driven load sync).
+func (m *machine) retrySync(c *core) {
+	if c.predSync {
+		// Predicted-dependent load: wait until a producer wrote the
+		// word or we are the oldest epoch.
+		if m.engine.Oldest() == c.epoch {
+			m.pred.RecordUseless(c.syncPC)
+			c.syncing = false
+			c.predSync = false
+			m.execute(c)
+			return
+		}
+		if m.engine.ProducerWrote(c.epoch, c.syncAddr) {
+			c.syncing = false
+			c.predSync = false
+			m.execute(c)
+			return
+		}
+		m.accrue(c, Sync)
+		return
+	}
+	// Latch wait.
+	if m.engine.AcquireLatch(c.epoch, c.syncAddr) {
+		c.syncing = false
+		// Consume the latch-acquire event we peeked at.
+		ev, ok := c.cursor.Next(1)
+		if !ok || ev.Kind != isa.LatchAcquire {
+			panic("sim: latch wait desynchronized from trace")
+		}
+		m.execute(c)
+		return
+	}
+	m.accrue(c, Sync)
+}
+
+// execute runs one issue cycle of the core's trace.
+func (m *machine) execute(c *core) {
+	budget := uint32(m.cfg.CPU.IssueWidth)
+	memUsed := false
+	issued := false
+	cat := Busy
+
+	for budget > 0 {
+		if c.stallUntil > m.cycle {
+			break
+		}
+		kind, ok := c.cursor.Peek()
+		if !ok {
+			c.done = true
+			c.epoch.Completed = true
+			break
+		}
+		if kind.IsMemory() && memUsed {
+			break // one data-cache access per cycle
+		}
+		if kind == isa.LatchAcquire {
+			// Peek-first: the event is only consumed once granted.
+			ev := peekEvent(c.cursor)
+			if !m.engine.AcquireLatch(c.epoch, ev.Addr) {
+				if !issued {
+					c.syncing = true
+					c.predSync = false
+					c.syncAddr = ev.Addr
+					c.syncPC = ev.PC
+					m.accrue(c, Sync)
+					return
+				}
+				break
+			}
+			c.cursor.Next(1)
+			budget--
+			issued = true
+			m.maybeSpawn(c)
+			continue
+		}
+
+		// Predictor-guided sub-thread placement (§5.1): checkpoint
+		// immediately before a load that is predicted to be violated,
+		// so a violation rewinds almost nothing.
+		if kind == isa.Load && m.spawnPred != nil && m.engine.Speculative(c.epoch) {
+			ev := peekEvent(c.cursor)
+			lastCkpt := c.checkpoints[len(c.checkpoints)-1].Done()
+			if m.spawnPred.ShouldSync(ev.PC) && c.cursor.Done() >= lastCkpt+200 {
+				m.spawn(c)
+			}
+		}
+
+		// Predictor-driven synchronization happens before the load
+		// issues.
+		if kind == isa.Load && m.pred != nil && m.engine.Speculative(c.epoch) {
+			ev := peekEvent(c.cursor)
+			if m.pred.ShouldSync(ev.PC) && !m.engine.ProducerWrote(c.epoch, ev.Addr) {
+				if !issued {
+					c.syncing = true
+					c.predSync = true
+					c.syncAddr = ev.Addr
+					c.syncPC = ev.PC
+					m.res.PredictorSyncs++
+					m.accrue(c, Sync)
+					return
+				}
+				break
+			}
+		}
+
+		ev, _ := c.cursor.Next(budget)
+		if c.ifetch != nil {
+			if stall := c.ifetch.fetch(m, ev.PC, ev.N); stall > 0 {
+				until := m.cycle + stall
+				if until > c.stallUntil {
+					c.stallUntil = until
+					c.stallCat = CacheMiss
+				}
+			}
+		}
+		selfSquashed := false
+		switch ev.Kind {
+		case isa.ALU:
+			budget -= ev.N
+		case isa.IntMul, isa.IntDiv, isa.FPOp, isa.FPDiv, isa.FPSqrt:
+			budget--
+			if lat := m.cfg.CPU.Lat.Of(ev.Kind); lat > 1 {
+				c.stallUntil = m.cycle + uint64(lat)
+				c.stallCat = Busy
+				budget = 0
+			}
+		case isa.Branch:
+			budget--
+			m.res.Branches++
+			if !c.gshare.Predict(ev.PC, ev.Taken) {
+				m.res.Mispredicts++
+				c.stallUntil = m.cycle + 1 + uint64(m.cfg.CPU.Lat.MispredictPenalty)
+				c.stallCat = Busy
+				budget = 0
+			}
+		case isa.Load:
+			budget--
+			memUsed = true
+			var lat uint64
+			lat, selfSquashed = m.load(c, ev)
+			if !selfSquashed && lat > m.cfg.Mem.L1HitLat {
+				if m.cfg.NonBlockingLoads && m.cycle >= c.missUntil {
+					// Run ahead under the miss until the
+					// reorder buffer fills (one outstanding
+					// miss at a time).
+					c.missUntil = m.cycle + lat
+					c.missBudget = m.cfg.CPU.ReorderBuffer
+				} else {
+					c.stallUntil = m.cycle + lat
+					if m.cfg.NonBlockingLoads && c.missUntil > c.stallUntil {
+						c.stallUntil = c.missUntil
+					}
+					c.stallCat = CacheMiss
+					budget = 0
+				}
+			}
+		case isa.Store:
+			budget--
+			memUsed = true
+			selfSquashed = m.store(c, ev)
+		case isa.LatchRelease:
+			budget--
+			m.engine.ReleaseLatch(c.epoch, ev.Addr)
+		default:
+			panic(fmt.Sprintf("sim: unhandled event kind %v", ev.Kind))
+		}
+		issued = true
+		if m.cfg.NonBlockingLoads && m.cycle < c.missUntil {
+			c.missBudget -= int(ev.N)
+			if c.missBudget <= 0 {
+				// Reorder buffer full: wait out the miss.
+				if c.missUntil > c.stallUntil {
+					c.stallUntil = c.missUntil
+					c.stallCat = CacheMiss
+				}
+				budget = 0
+			}
+		}
+		if selfSquashed {
+			// The access squashed this core's own epoch (overflow
+			// cascade): the cursor has been rewound, stop issuing.
+			m.accrue(c, Failed)
+			return
+		}
+		if m.engine.Speculative(c.epoch) {
+			m.res.SpecInstrs += uint64(ev.N)
+		}
+		m.maybeSpawn(c)
+		if c.stallUntil > m.cycle {
+			break
+		}
+	}
+	m.accrue(c, cat)
+}
+
+// peekEvent returns the next raw event without consuming it.
+func peekEvent(c *trace.Cursor) trace.Event {
+	ev, _ := c.PeekEvent()
+	return ev
+}
+
+// effectiveSpacing computes the sub-thread spacing for an epoch: the
+// configured constant under SpawnPeriodic, or the thread size divided evenly
+// into the available contexts under SpawnAdaptive (§5.1's suggested
+// improvement). SpawnPredictor places checkpoints at predicted loads instead
+// and uses no periodic spacing.
+func (m *machine) effectiveSpacing(t *trace.Trace) uint64 {
+	switch m.cfg.Spawn {
+	case SpawnAdaptive:
+		n := uint64(m.cfg.TLS.SubthreadsPerEpoch)
+		if n == 0 {
+			return 0
+		}
+		sp := t.Instrs() / n
+		if sp < 500 {
+			sp = 500
+		}
+		return sp
+	case SpawnPredictor:
+		return 0
+	default:
+		return m.cfg.SubthreadSpacing
+	}
+}
+
+// maybeSpawn starts a new sub-thread when the spacing policy says so (§5.1),
+// while hardware contexts remain and the epoch is still speculative.
+func (m *machine) maybeSpawn(c *core) {
+	if c.spacing == 0 || c.epoch == nil {
+		return
+	}
+	if c.cursor.Done() < c.nextSpawnAt {
+		return
+	}
+	if !m.engine.Speculative(c.epoch) {
+		c.nextSpawnAt = ^uint64(0) // homefree: no more checkpoints needed
+		return
+	}
+	if !m.spawn(c) {
+		c.nextSpawnAt = ^uint64(0) // contexts exhausted
+		return
+	}
+	c.nextSpawnAt += c.spacing
+}
+
+// spawn performs the sub-thread start: engine context, checkpoint capture,
+// per-sub-thread profiler reset, and the register-backup cost.
+func (m *machine) spawn(c *core) bool {
+	if !m.engine.StartSubthread(c.epoch) {
+		return false
+	}
+	ctx := c.epoch.CurCtx
+	for len(c.checkpoints) <= ctx {
+		c.checkpoints = append(c.checkpoints, trace.Pos{})
+		c.ctxCycles = append(c.ctxCycles, Breakdown{})
+	}
+	c.checkpoints[ctx] = c.cursor.Pos()
+	c.ctxCycles[ctx] = Breakdown{}
+	c.elt.Reset() // exposure is tracked per sub-thread (§3.1)
+	if m.cfg.RegBackupPenalty > 0 {
+		// Backing the register file up to memory stalls the pipeline.
+		until := m.cycle + m.cfg.RegBackupPenalty
+		if until > c.stallUntil {
+			c.stallUntil = until
+			c.stallCat = Busy
+		}
+	}
+	return true
+}

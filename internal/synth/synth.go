@@ -1,0 +1,177 @@
+// Package synth generates parameterized synthetic speculative-thread
+// workloads: N threads of a chosen size with a chosen number of cross-thread
+// dependent loads, spread across each thread.
+//
+// The paper's introduction frames its contribution by exactly these two
+// axes: conventional all-or-nothing TLS suffices for threads that are "small
+// or highly independent" (a few hundred to a few thousand instructions, as
+// in SPEC), while the database threads — 7.5k-490k instructions with
+// "between 2 and 75 dependent loads per thread" — need sub-threads. The
+// dependence-density sweep in cmd/experiments uses this package to map that
+// claim: where in (thread size x dependence count) space sub-threads start
+// to matter.
+//
+// It also doubles as a stress generator: random programs with known
+// structure exercise the whole simulator under property-based tests.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"subthreads/internal/isa"
+	"subthreads/internal/mem"
+	"subthreads/internal/sim"
+	"subthreads/internal/trace"
+)
+
+// Params describes a synthetic workload.
+type Params struct {
+	// Threads is the number of speculative threads (epochs).
+	Threads int
+	// ThreadSize is the dynamic instruction count per thread.
+	ThreadSize int
+	// DepLoads is the number of dependent loads per thread: loads of
+	// shared variables that the logically-previous thread stores.
+	DepLoads int
+	// Jitter randomizes dependence positions by up to this fraction of
+	// the thread size, modeling how the same static dependence appears at
+	// different dynamic positions in different iterations of real code.
+	// Defaults to 0.30 when zero. Low jitter (aligned positions in every
+	// thread) systematically favors full restarts — the restart staggers
+	// the threads so later dependences arrive in order, the effect §5.1
+	// observes on DELIVERY OUTER — while realistic scatter favors
+	// sub-threads.
+	Jitter float64
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+func (p Params) validate() error {
+	if p.Threads < 1 {
+		return fmt.Errorf("synth: Threads = %d", p.Threads)
+	}
+	if p.ThreadSize < 64 {
+		return fmt.Errorf("synth: ThreadSize = %d (min 64)", p.ThreadSize)
+	}
+	if p.DepLoads < 0 || p.DepLoads*40 > p.ThreadSize {
+		return fmt.Errorf("synth: DepLoads = %d too dense for thread size %d", p.DepLoads, p.ThreadSize)
+	}
+	return nil
+}
+
+// sharedBase is where the shared dependence variables live; each variable
+// gets its own cache line so every dependence is genuine (no false sharing).
+const sharedBase = mem.Addr(0x100000)
+
+// privateBase spaces each thread's private working set.
+const privateBase = mem.Addr(0x800000)
+
+// Generate builds the program: each thread k loads shared variable v_i at
+// position load_i and stores it at position store_i > load_i, so thread k+1's
+// load of v_i depends on thread k's store. Positions are spread evenly with
+// per-thread jitter. The rest of each thread is a realistic mix of compute,
+// private memory traffic, and biased branches.
+func Generate(p Params) (*sim.Program, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	jitter := p.Jitter
+	if jitter == 0 {
+		jitter = 0.30
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	prog := &sim.Program{}
+
+	for t := 0; t < p.Threads; t++ {
+		// Dependence event positions: for each shared variable, a load
+		// and, later, a store — evenly spread with jitter.
+		type ev struct {
+			pos  int
+			load bool
+			v    int
+		}
+		var evs []ev
+		for i := 0; i < p.DepLoads; i++ {
+			// Each dependence is a read-modify-write of a shared
+			// variable (the shape of the database's shared counters
+			// and list heads): an exposed load followed shortly by
+			// the store the next thread's load depends on. Jitter
+			// shifts each thread's position so some instances
+			// arrive out of order and violate.
+			span := p.ThreadSize / (p.DepLoads + 1)
+			center := (i + 1) * span
+			if j := int(float64(p.ThreadSize) * jitter); j > 0 {
+				center += rng.Intn(2*j+1) - j
+			}
+			loadPos := clamp(center, 1, p.ThreadSize-42)
+			storePos := loadPos + 40
+			evs = append(evs, ev{pos: loadPos, load: true, v: i})
+			evs = append(evs, ev{pos: storePos, load: false, v: i})
+		}
+		sort.Slice(evs, func(a, b int) bool { return evs[a].pos < evs[b].pos })
+
+		b := trace.NewBuilder()
+		emitted := 0
+		priv := privateBase + mem.Addr(t%8)*0x10000
+		privIdx := 0
+		fill := func(n int) {
+			// Compute filler with private memory traffic and biased
+			// branches, block size 32. Private stores slide through a
+			// 512-line window (like a call stack) so one line holds at
+			// most a couple of speculative versions across sub-thread
+			// contexts — the same property real stacks give the L2.
+			for n >= 32 {
+				b.ALU(12)
+				b.Load(isa.PC(100), priv+mem.Addr(privIdx%4096)*mem.WordSize)
+				b.ALU(10)
+				b.Branch(isa.PC(101), rng.Intn(8) != 0)
+				b.ALU(7)
+				privIdx++
+				b.Store(isa.PC(102), priv+mem.Addr(privIdx%4096)*mem.WordSize)
+				n -= 32
+			}
+			if n > 0 {
+				b.ALU(uint32(n))
+			}
+		}
+		for _, e := range evs {
+			if e.pos > emitted {
+				fill(e.pos - emitted)
+				emitted = e.pos
+			}
+			addr := sharedBase + mem.Addr(e.v)*mem.LineSize
+			if e.load {
+				b.Load(isa.PC(200+e.v), addr)
+			} else {
+				b.Store(isa.PC(300+e.v), addr)
+			}
+			emitted++
+		}
+		if emitted < p.ThreadSize {
+			fill(p.ThreadSize - emitted)
+		}
+		prog.Units = append(prog.Units, sim.Unit{Trace: b.Finish()})
+	}
+	return prog, nil
+}
+
+// MustGenerate is Generate for known-good parameters.
+func MustGenerate(p Params) *sim.Program {
+	prog, err := Generate(p)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,122 @@
+package synth
+
+import (
+	"testing"
+	"testing/quick"
+
+	"subthreads/internal/sim"
+)
+
+func TestGenerateShape(t *testing.T) {
+	p := Params{Threads: 8, ThreadSize: 20000, DepLoads: 10, Seed: 1}
+	prog := MustGenerate(p)
+	if len(prog.Units) != 8 {
+		t.Fatalf("units = %d", len(prog.Units))
+	}
+	for i, u := range prog.Units {
+		if u.Barrier {
+			t.Errorf("unit %d is a barrier", i)
+		}
+		got := u.Trace.Instrs()
+		if got < 19000 || got > 21000 {
+			t.Errorf("unit %d size = %d, want ~20000", i, got)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	for _, p := range []Params{
+		{Threads: 0, ThreadSize: 1000},
+		{Threads: 1, ThreadSize: 10},
+		{Threads: 1, ThreadSize: 1000, DepLoads: 100},
+	} {
+		if _, err := Generate(p); err == nil {
+			t.Errorf("Generate(%+v) succeeded", p)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Params{Threads: 4, ThreadSize: 5000, DepLoads: 4, Seed: 9}
+	a := MustGenerate(p)
+	b := MustGenerate(p)
+	for i := range a.Units {
+		ea, eb := a.Units[i].Trace.Events(), b.Units[i].Trace.Events()
+		if len(ea) != len(eb) {
+			t.Fatalf("unit %d event counts differ", i)
+		}
+		for j := range ea {
+			if ea[j] != eb[j] {
+				t.Fatalf("unit %d event %d differs: %v vs %v", i, j, ea[j], eb[j])
+			}
+		}
+	}
+}
+
+func TestIndependentThreadsDoNotViolate(t *testing.T) {
+	prog := MustGenerate(Params{Threads: 8, ThreadSize: 10000, DepLoads: 0, Seed: 3})
+	cfg := sim.DefaultConfig()
+	res := sim.Run(cfg, prog)
+	if res.TLS.PrimaryViolations != 0 {
+		t.Errorf("independent threads violated %d times", res.TLS.PrimaryViolations)
+	}
+}
+
+func TestDependentThreadsViolate(t *testing.T) {
+	prog := MustGenerate(Params{Threads: 8, ThreadSize: 50000, DepLoads: 20, Seed: 3})
+	cfg := sim.DefaultConfig()
+	cfg.SubthreadSpacing = 0
+	cfg.TLS.SubthreadsPerEpoch = 1
+	res := sim.Run(cfg, prog)
+	if res.TLS.PrimaryViolations == 0 {
+		t.Error("dense dependences never violated under all-or-nothing TLS")
+	}
+}
+
+// TestSubthreadsWinOnLargeDependentThreads is the paper's thesis as a
+// property over the synthetic space: for large threads with many
+// dependences, sub-threads beat all-or-nothing TLS.
+func TestSubthreadsWinOnLargeDependentThreads(t *testing.T) {
+	prog := func() *sim.Program {
+		return MustGenerate(Params{Threads: 12, ThreadSize: 60000, DepLoads: 24, Seed: 5})
+	}
+	aonCfg := sim.DefaultConfig()
+	aonCfg.SubthreadSpacing = 0
+	aonCfg.TLS.SubthreadsPerEpoch = 1
+	aon := sim.Run(aonCfg, prog())
+	sub := sim.Run(sim.DefaultConfig(), prog())
+	if sub.Cycles >= aon.Cycles {
+		t.Errorf("sub-threads %d cycles, all-or-nothing %d", sub.Cycles, aon.Cycles)
+	}
+}
+
+// TestSimulatorInvariantsUnderRandomPrograms stress-tests the whole machine:
+// any generated program must complete with all instructions committed and
+// the accounting identity intact.
+func TestSimulatorInvariantsUnderRandomPrograms(t *testing.T) {
+	f := func(seed int64, threads, size, deps uint8) bool {
+		p := Params{
+			Threads:    int(threads%6) + 2,
+			ThreadSize: int(size)*64 + 2000,
+			DepLoads:   int(deps % 16),
+			Seed:       seed,
+		}
+		prog, err := Generate(p)
+		if err != nil {
+			return true // out-of-domain parameters are fine to reject
+		}
+		cfg := sim.DefaultConfig()
+		cfg.TLS.L2Sets = 256
+		res := sim.Run(cfg, prog)
+		if res.Breakdown.Total() != uint64(cfg.CPUs)*res.Cycles {
+			return false
+		}
+		if res.CommittedInstrs != prog.Instrs() {
+			return false
+		}
+		return res.TLS.Commits == uint64(p.Threads)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,494 @@
+// Package tls implements the paper's hardware support for thread-level
+// speculation with large speculative threads and sub-threads (§2):
+//
+//   - Speculative state is buffered in the shared L2: speculatively-loaded
+//     state is tracked per cache line (SL bits, one per sub-thread context),
+//     speculatively-modified state per word (SM masks per context).
+//   - The L1s are write-through, so stores propagate aggressively to the L2
+//     where logically-later epochs can consume them without violations.
+//   - Multiple versions of a line occupy the ways of an L2 set; speculative
+//     lines evicted by conflicts land in the speculative victim cache.
+//   - Sub-threads (§2.2): each epoch owns several hardware thread contexts;
+//     starting a sub-thread checkpoints the epoch (zero-cycle register
+//     backup) and shifts speculative-state accrual to the next context. A
+//     violation rewinds only to the sub-thread that performed the exposed
+//     load, and the sub-thread start table makes secondary violations
+//     restart logically-later epochs selectively (Figure 4b).
+//
+// The engine is purely architectural bookkeeping: it decides what is exposed,
+// who gets violated, and which contexts rewind. The simulator (internal/sim)
+// owns cursors, checkpoints, and the clock.
+package tls
+
+import (
+	"fmt"
+
+	"subthreads/internal/cache"
+	"subthreads/internal/isa"
+	"subthreads/internal/mem"
+)
+
+// MaxSubthreads is the hardware cap on sub-thread contexts per epoch.
+// The paper evaluates up to 8; we leave headroom for ablations.
+const MaxSubthreads = 16
+
+// Config parameterizes the TLS hardware.
+type Config struct {
+	// CPUs is the number of cores sharing the L2 (one epoch per core).
+	CPUs int
+	// SubthreadsPerEpoch is the number of hardware contexts per epoch.
+	// 1 models the conventional all-or-nothing TLS architecture.
+	SubthreadsPerEpoch int
+	// StartTable enables the sub-thread start table, which lets secondary
+	// violations restart only dependent sub-threads (Figure 4b). With it
+	// disabled, a secondary violation restarts the whole later epoch
+	// (Figure 4a).
+	StartTable bool
+	// SpeculationOff disables all dependence tracking: the NO SPECULATION
+	// upper bound of Figure 5, which incorrectly treats every access as
+	// non-speculative.
+	SpeculationOff bool
+	// OverflowPolicy selects what happens when speculative state cannot
+	// be buffered (an L2 set full of speculative versions and a full
+	// victim cache).
+	OverflowPolicy OverflowPolicy
+	// L2 geometry and the speculative victim cache capacity (Table 1).
+	L2Sets, L2Ways int
+	VictimEntries  int
+}
+
+// OverflowPolicy selects the response to speculative-buffer exhaustion.
+type OverflowPolicy uint8
+
+const (
+	// OverflowStall refuses to buffer the new speculative state and
+	// stalls the requesting epoch until an earlier epoch commits (the
+	// paper's design: "stalling threads due to cache overflows", §2.1).
+	OverflowStall OverflowPolicy = iota
+	// OverflowSquash squashes the sub-thread owning the speculative
+	// version that would be lost — a simpler but more expensive response.
+	OverflowSquash
+)
+
+func (p OverflowPolicy) String() string {
+	switch p {
+	case OverflowStall:
+		return "stall"
+	case OverflowSquash:
+		return "squash"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
+}
+
+// DefaultConfig returns the paper's BASELINE hardware: 4 CPUs, 8 sub-threads
+// per epoch with the start table, 2MB 4-way L2, 64-entry victim cache.
+func DefaultConfig() Config {
+	return Config{
+		CPUs:               4,
+		SubthreadsPerEpoch: 8,
+		StartTable:         true,
+		OverflowPolicy:     OverflowStall,
+		L2Sets:             16384,
+		L2Ways:             4,
+		VictimEntries:      64,
+	}
+}
+
+func (c Config) validate() error {
+	if c.CPUs < 1 {
+		return fmt.Errorf("tls: CPUs = %d", c.CPUs)
+	}
+	if c.SubthreadsPerEpoch < 1 || c.SubthreadsPerEpoch > MaxSubthreads {
+		return fmt.Errorf("tls: SubthreadsPerEpoch = %d (1..%d)", c.SubthreadsPerEpoch, MaxSubthreads)
+	}
+	return nil
+}
+
+// Reason says why a sub-thread (and everything after it) was squashed.
+type Reason uint8
+
+const (
+	// Primary: the epoch's own exposed load was violated by an earlier
+	// epoch's store.
+	Primary Reason = iota
+	// Secondary: a logically-earlier epoch was violated, so values this
+	// epoch may have consumed are being rewound.
+	Secondary
+	// Overflow: speculative state could not be buffered (L2 set conflict
+	// cascaded through a full victim cache), so the owning sub-thread is
+	// squashed. The paper stalls instead; squashing is the conservative
+	// equivalent and is shown by the victim-cache experiment to vanish at
+	// the paper's 64-entry size.
+	Overflow
+)
+
+func (r Reason) String() string {
+	switch r {
+	case Primary:
+		return "primary"
+	case Secondary:
+		return "secondary"
+	case Overflow:
+		return "overflow"
+	default:
+		return fmt.Sprintf("reason(%d)", uint8(r))
+	}
+}
+
+// Squash tells the simulator to rewind an epoch to the checkpoint of a
+// sub-thread context. The engine has already cleaned up the architectural
+// state when a Squash is returned.
+type Squash struct {
+	Epoch  *Epoch
+	Ctx    int
+	Reason Reason
+	// For Primary squashes: the offending store and the violated address.
+	StorePC    isa.PC
+	StoreEpoch uint64
+	Addr       mem.Addr
+}
+
+// Stats counts protocol events.
+type Stats struct {
+	PrimaryViolations   uint64
+	SecondaryViolations uint64
+	OverflowSquashes    uint64
+	OverflowStalls      uint64
+	ExposedLoads        uint64
+	SpecStores          uint64
+	SubthreadStarts     uint64
+	Commits             uint64
+}
+
+// lineMeta is the L2 directory state for one cache line: which epochs have
+// exposed speculative loads of the line (ctx bitmask) and which words each
+// context speculatively modified.
+type lineMeta struct {
+	load  map[uint64]uint32
+	store map[uint64]*[MaxSubthreads]uint8
+}
+
+func (lm *lineMeta) empty() bool { return len(lm.load) == 0 && len(lm.store) == 0 }
+
+// Engine is the TLS protocol state machine plus the L2/victim tag stores it
+// manages occupancy in.
+type Engine struct {
+	cfg    Config
+	L2     *cache.Cache
+	Victim *cache.Victim
+
+	lines  map[mem.Addr]*lineMeta
+	order  []*Epoch // live epochs, oldest first
+	nextID uint64
+
+	latches map[mem.Addr]*latchState
+
+	Stats
+}
+
+// NewEngine builds the TLS hardware described by cfg.
+func NewEngine(cfg Config) *Engine {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	return &Engine{
+		cfg:     cfg,
+		L2:      cache.New(cache.Config{Name: "L2", Sets: cfg.L2Sets, Ways: cfg.L2Ways}),
+		Victim:  cache.NewVictim(cfg.VictimEntries),
+		lines:   make(map[mem.Addr]*lineMeta),
+		latches: make(map[mem.Addr]*latchState),
+	}
+}
+
+// Config returns the engine's configuration.
+func (g *Engine) Config() Config { return g.cfg }
+
+// Live reports how many epochs are in flight.
+func (g *Engine) Live() int { return len(g.order) }
+
+// Oldest returns the logically-oldest live epoch (the one holding the
+// homefree token), or nil.
+func (g *Engine) Oldest() *Epoch {
+	if len(g.order) == 0 {
+		return nil
+	}
+	return g.order[0]
+}
+
+func (g *Engine) meta(line mem.Addr) *lineMeta {
+	lm := g.lines[line]
+	if lm == nil {
+		lm = &lineMeta{
+			load:  make(map[uint64]uint32),
+			store: make(map[uint64]*[MaxSubthreads]uint8),
+		}
+		g.lines[line] = lm
+	}
+	return lm
+}
+
+func (g *Engine) dropMetaIfEmpty(line mem.Addr, lm *lineMeta) {
+	if lm.empty() {
+		delete(g.lines, line)
+	}
+}
+
+// speculative reports whether e's accesses must be tracked: the oldest epoch
+// can never be violated, so its state commits directly.
+func (g *Engine) speculative(e *Epoch) bool {
+	return !g.cfg.SpeculationOff && len(g.order) > 0 && g.order[0] != e
+}
+
+// Speculative is the exported form of the oldest-epoch test, used by the
+// simulator to decide when to keep spawning sub-threads.
+func (g *Engine) Speculative(e *Epoch) bool { return g.speculative(e) }
+
+// classOf ranks cache entries for eviction: committed copies can always be
+// written back (class 0); speculative versions must be preserved (class 1).
+func classOf(e cache.Entry) int {
+	if e.Ver == cache.VerCommitted {
+		return 0
+	}
+	return 1
+}
+
+// insertL2 adds an entry to the L2 tag store, spilling evicted speculative
+// versions into the victim cache. With OverflowStall, an insert that would
+// force speculative state out of a full victim cache is refused and the
+// caller must stall the requesting epoch (stall=true, nothing inserted);
+// with OverflowSquash, the owner of the lost version is squashed instead.
+// Versions owned by the oldest live epoch are committed-class and are never
+// stalled over.
+func (g *Engine) insertL2(e cache.Entry) (sqs []Squash, stall bool) {
+	if g.cfg.OverflowPolicy == OverflowStall && !g.L2.Present(e) && g.Victim.Full() {
+		if g.L2.VictimClass(e.Line, classOf) == 1 {
+			// The set is full of speculative versions and the
+			// victim cache cannot absorb another: check whether
+			// the displaced version would belong to a live,
+			// non-oldest epoch (whose state must not be lost).
+			// The precise victim is only known after insertion;
+			// being conservative here (any speculative victim
+			// stalls) matches hardware that checks way state.
+			g.OverflowStalls++
+			return nil, true
+		}
+	}
+	victim, evicted := g.L2.Insert(e, classOf)
+	if !evicted || victim.Ver == cache.VerCommitted {
+		return nil, false
+	}
+	over, overflowed := g.Victim.Insert(victim)
+	if !overflowed {
+		return nil, false
+	}
+	return g.squashOverflow(over), false
+}
+
+// squashOverflow handles a speculative version falling out of the victim
+// cache: the owning sub-thread can no longer be buffered, so it rewinds.
+// Versions owned by the oldest epoch are safe to write back (that epoch can
+// never be violated), so they are simply dropped.
+func (g *Engine) squashOverflow(over cache.Entry) []Squash {
+	owner, ctx := g.ownerOf(over.Ver)
+	if owner == nil || owner == g.Oldest() {
+		return nil
+	}
+	g.OverflowSquashes++
+	set := newSquashSet()
+	set.add(owner, ctx, Squash{Epoch: owner, Ctx: ctx, Reason: Overflow})
+	g.addSecondaries(set, owner, ctx)
+	return g.applySquashes(set)
+}
+
+// ownerOf maps a cache version tag back to the live epoch and context that
+// owns it.
+func (g *Engine) ownerOf(v cache.Ver) (*Epoch, int) {
+	if v == cache.VerCommitted {
+		return nil, 0
+	}
+	slot := int(v) / MaxSubthreads
+	ctx := int(v) % MaxSubthreads
+	for _, e := range g.order {
+		if e.Slot == slot {
+			return e, ctx
+		}
+	}
+	return nil, 0
+}
+
+func verOf(e *Epoch, ctx int) cache.Ver {
+	return cache.Ver(e.Slot*MaxSubthreads + ctx)
+}
+
+// AccessResult reports the architectural outcome of a load or store.
+type AccessResult struct {
+	// L2Hit is true when the line (any version) was resident in the L2 or
+	// the victim cache; false means a memory fetch.
+	L2Hit bool
+	// Exposed is set for loads that were exposed (not covered by an
+	// earlier store of the same epoch) and therefore recorded an SL bit.
+	Exposed bool
+	// Squashes lists every rewind this access caused, already applied to
+	// the architectural state. For stores these are dependence violations;
+	// for either kind they may be buffer-overflow squashes.
+	Squashes []Squash
+	// Stall is set (under OverflowStall) when the access's speculative
+	// state could not be buffered: the epoch must stall until an earlier
+	// epoch commits, then resume.
+	Stall bool
+}
+
+// Load performs the architectural part of a data load by epoch e.
+func (g *Engine) Load(e *Epoch, addr mem.Addr) AccessResult {
+	line := addr.Line()
+	var res AccessResult
+	res.L2Hit = g.L2.LookupLine(line) || g.Victim.LookupLine(line)
+	if !res.L2Hit {
+		// Fetch from memory: the committed copy becomes resident.
+		// A committed copy is evictable, so this insert never stalls.
+		res.Squashes, _ = g.insertL2(cache.Entry{Line: line, Ver: cache.VerCommitted})
+	}
+	if !g.speculative(e) {
+		return res
+	}
+	lm := g.meta(line)
+	// Exposedness: a load is exposed unless an earlier store of the same
+	// epoch (any live context) already produced this word (§2.2, §3.1).
+	mask := mem.WordMask(addr)
+	if sm := lm.store[e.ID]; sm != nil {
+		for c := 0; c <= e.CurCtx; c++ {
+			if sm[c]&mask != 0 {
+				return res
+			}
+		}
+	}
+	res.Exposed = true
+	g.ExposedLoads++
+	bit := uint32(1) << uint(e.CurCtx)
+	if lm.load[e.ID]&bit == 0 {
+		lm.load[e.ID] |= bit
+		e.addLine(e.CurCtx, line)
+	}
+	return res
+}
+
+// Store performs the architectural part of a data store by epoch e: it
+// propagates through the write-through L1 to the L2, records speculative
+// modification state, and detects violations of logically-later epochs.
+func (g *Engine) Store(e *Epoch, pc isa.PC, addr mem.Addr) AccessResult {
+	line := addr.Line()
+	var res AccessResult
+	res.L2Hit = g.L2.LookupLine(line) || g.Victim.LookupLine(line)
+
+	var set *squashSet
+	if !g.cfg.SpeculationOff {
+		// Dependence check: any logically-later epoch with an exposed
+		// speculative load of this line is violated (loaded state is
+		// tracked at line granularity, §2.1). The violated sub-thread
+		// is the earliest context holding an SL bit.
+		if lm := g.lines[line]; lm != nil {
+			after := false
+			for _, ep := range g.order {
+				if ep == e {
+					after = true
+					continue
+				}
+				if !after {
+					continue
+				}
+				bits := lm.load[ep.ID]
+				if bits == 0 {
+					continue
+				}
+				ctx := lowestBit(bits)
+				g.PrimaryViolations++
+				if set == nil {
+					set = newSquashSet()
+				}
+				set.add(ep, ctx, Squash{
+					Epoch: ep, Ctx: ctx, Reason: Primary,
+					StorePC: pc, StoreEpoch: e.ID, Addr: addr,
+				})
+				g.addSecondaries(set, ep, ctx)
+			}
+		}
+	}
+
+	if g.speculative(e) {
+		g.SpecStores++
+		lm := g.meta(line)
+		sm := lm.store[e.ID]
+		if sm == nil {
+			sm = new([MaxSubthreads]uint8)
+			lm.store[e.ID] = sm
+		}
+		mask := mem.WordMask(addr)
+		if sm[e.CurCtx]&mask == 0 {
+			sm[e.CurCtx] |= mask
+			e.addLine(e.CurCtx, line)
+		}
+		// Apply the dependence violations first, then buffer the new
+		// version: an overflow squash computed after the violations see
+		// a consistent context state.
+		res.Squashes = g.applySquashes(set)
+		sqs, stall := g.insertL2(cache.Entry{Line: line, Ver: verOf(e, e.CurCtx)})
+		res.Squashes = append(res.Squashes, sqs...)
+		res.Stall = stall
+		return res
+	}
+
+	// Non-speculative store: the committed copy is updated in place.
+	if !res.L2Hit {
+		res.Squashes = g.applySquashes(set)
+		sqs, _ := g.insertL2(cache.Entry{Line: line, Ver: cache.VerCommitted})
+		res.Squashes = append(res.Squashes, sqs...)
+		return res
+	}
+	res.Squashes = g.applySquashes(set)
+	return res
+}
+
+func lowestBit(bits uint32) int {
+	for i := 0; i < 32; i++ {
+		if bits&(1<<uint(i)) != 0 {
+			return i
+		}
+	}
+	return 0
+}
+
+// ForceSquash rewinds epoch e to context ctx for a protocol-external reason
+// (latch-deadlock breaking in the simulator), applying secondary violations
+// exactly as a dependence violation would.
+func (g *Engine) ForceSquash(e *Epoch, ctx int, reason Reason) []Squash {
+	set := newSquashSet()
+	set.add(e, ctx, Squash{Epoch: e, Ctx: ctx, Reason: reason})
+	g.addSecondaries(set, e, ctx)
+	return g.applySquashes(set)
+}
+
+// ProducerWrote reports whether any live epoch logically earlier than e has
+// speculatively written the word at addr — i.e. whether a synchronized
+// (predicted-dependent) load of that word can now proceed with a forwarded
+// value. Used by the dependence-predictor ablation.
+func (g *Engine) ProducerWrote(e *Epoch, addr mem.Addr) bool {
+	lm := g.lines[addr.Line()]
+	if lm == nil {
+		return false
+	}
+	mask := mem.WordMask(addr)
+	for _, ep := range g.order {
+		if ep == e {
+			return false
+		}
+		if sm := lm.store[ep.ID]; sm != nil {
+			for c := 0; c <= ep.CurCtx; c++ {
+				if sm[c]&mask != 0 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,57 @@
+package tpcc
+
+import "fmt"
+
+// Benchmark identifies one of the paper's seven workload variants (§4.1):
+// the five TPC-C transactions plus the scaled NEW ORDER 150 and the
+// outer-loop-parallelized DELIVERY.
+type Benchmark int
+
+const (
+	NewOrder Benchmark = iota
+	NewOrder150
+	Delivery
+	DeliveryOuter
+	StockLevel
+	Payment
+	OrderStatus
+	NumBenchmarks
+)
+
+var benchNames = [...]string{
+	NewOrder:      "NEW ORDER",
+	NewOrder150:   "NEW ORDER 150",
+	Delivery:      "DELIVERY",
+	DeliveryOuter: "DELIVERY OUTER",
+	StockLevel:    "STOCK LEVEL",
+	Payment:       "PAYMENT",
+	OrderStatus:   "ORDER STATUS",
+}
+
+func (b Benchmark) String() string {
+	if int(b) < len(benchNames) {
+		return benchNames[b]
+	}
+	return fmt.Sprintf("bench(%d)", int(b))
+}
+
+// All returns the benchmarks in the order the paper's figures present them.
+func All() []Benchmark {
+	return []Benchmark{NewOrder, NewOrder150, Delivery, DeliveryOuter, StockLevel, Payment, OrderStatus}
+}
+
+// TLSProfitable returns the five benchmarks Figure 6 sweeps (the paper drops
+// PAYMENT and ORDER STATUS after Figure 5 shows they lack parallelism).
+func TLSProfitable() []Benchmark {
+	return []Benchmark{NewOrder, NewOrder150, Delivery, DeliveryOuter, StockLevel}
+}
+
+// Parse maps a benchmark name (case-sensitive, as printed) back to its id.
+func Parse(name string) (Benchmark, error) {
+	for b, n := range benchNames {
+		if n == name {
+			return Benchmark(b), nil
+		}
+	}
+	return 0, fmt.Errorf("tpcc: unknown benchmark %q", name)
+}

@@ -1,0 +1,94 @@
+package tpcc
+
+import "math/rand"
+
+// ItemReq is one order line request of a NEW ORDER transaction.
+type ItemReq struct {
+	Item int
+	Qty  int
+}
+
+// Input is one transaction's parameters. Inputs are generated once per
+// experiment (seeded, per the TPC-C run rules as in §4.1) and replayed
+// against every hardware configuration, so all configurations execute
+// identical work.
+type Input struct {
+	Bench Benchmark
+	D     int // district
+	C     int // customer
+	CLast int // last-name bucket (PAYMENT, ORDER STATUS)
+	Items []ItemReq
+	// Threshold for STOCK LEVEL.
+	Threshold int
+	// Rollback marks the TPC-C "1%" NEW ORDER case: the last item id is
+	// invalid and the transaction must abort after its partial work.
+	Rollback bool
+}
+
+// lastBuckets is the number of distinct last-name buckets for a scale —
+// sized so a last-name lookup matches about 3 customers, as the TPC-C name
+// distribution does.
+func lastBuckets(s Scale) int {
+	n := s.CustomersPerDistrict / 3
+	if n < 1 {
+		n = 1
+	}
+	if n > 1000 {
+		n = 1000
+	}
+	return n
+}
+
+// GenInputs generates n transaction inputs for the benchmark.
+func GenInputs(b Benchmark, s Scale, seed int64, n int) []Input {
+	rng := rand.New(rand.NewSource(seed))
+	buckets := lastBuckets(s)
+	ins := make([]Input, 0, n)
+	for i := 0; i < n; i++ {
+		in := Input{
+			Bench:     b,
+			D:         1 + rng.Intn(s.Districts),
+			C:         1 + nuRand(rng, 1023, 0, s.CustomersPerDistrict-1),
+			CLast:     rng.Intn(buckets),
+			Threshold: 10 + rng.Intn(11),
+		}
+		switch b {
+		case NewOrder:
+			in.Items = genItems(rng, s, 5, 15)
+		case NewOrder150:
+			// The paper scales the order to 50–150 items to provide
+			// enough threads for 4 CPUs (§4.1).
+			in.Items = genItems(rng, s, 50, 150)
+		}
+		if b == NewOrder || b == NewOrder150 {
+			// TPC-C 2.4.1.4: one percent of NEW ORDER transactions
+			// carry an unused item number as their last item and
+			// roll back.
+			if rng.Intn(100) == 0 {
+				in.Rollback = true
+				in.Items[len(in.Items)-1].Item = -1
+			}
+		}
+		ins = append(ins, in)
+	}
+	return ins
+}
+
+// genItems picks between lo and hi distinct items with quantities 1..10.
+func genItems(rng *rand.Rand, s Scale, lo, hi int) []ItemReq {
+	n := lo + rng.Intn(hi-lo+1)
+	if n > s.Items {
+		n = s.Items
+	}
+	seen := make(map[int]bool, n)
+	items := make([]ItemReq, 0, n)
+	for len(items) < n {
+		it := 1 + rng.Intn(s.Items)
+		if seen[it] {
+			continue
+		}
+		seen[it] = true
+		items = append(items, ItemReq{Item: it, Qty: 1 + rng.Intn(10)})
+	}
+	return items
+}

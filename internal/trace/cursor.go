@@ -1,0 +1,94 @@
+package trace
+
+import "subthreads/internal/isa"
+
+// Pos is a saved cursor position — the state a sub-thread checkpoint needs to
+// restart execution from (the register-file backup of §2.2 is modeled as
+// zero-cost, so a position is all there is to save).
+type Pos struct {
+	idx  int    // event index
+	off  uint32 // instructions already consumed inside events[idx]
+	done uint64 // total instructions consumed before this position
+}
+
+// Done reports how many dynamic instructions precede the position.
+func (p Pos) Done() uint64 { return p.done }
+
+// Cursor walks a Trace, supporting checkpoint (Pos) and rewind (Seek).
+type Cursor struct {
+	t   *Trace
+	pos Pos
+}
+
+// NewCursor returns a cursor at the start of t.
+func NewCursor(t *Trace) *Cursor { return &Cursor{t: t} }
+
+// Trace returns the trace being walked.
+func (c *Cursor) Trace() *Trace { return c.t }
+
+// AtEnd reports whether the whole trace has been consumed.
+func (c *Cursor) AtEnd() bool { return c.pos.idx >= len(c.t.events) }
+
+// Done reports the number of dynamic instructions consumed so far.
+func (c *Cursor) Done() uint64 { return c.pos.done }
+
+// Pos returns the current position for later Seek.
+func (c *Cursor) Pos() Pos { return c.pos }
+
+// Seek rewinds (or forwards) the cursor to a previously captured position.
+func (c *Cursor) Seek(p Pos) { c.pos = p }
+
+// Rewind returns the cursor to the start of the trace.
+func (c *Cursor) Rewind() { c.pos = Pos{} }
+
+// Next consumes and returns the next event. For ALU runs it consumes at most
+// maxALU instructions and returns an event with the clipped run length, so a
+// 4-wide core can consume a long run across several cycles. ok is false at
+// end of trace.
+func (c *Cursor) Next(maxALU uint32) (ev Event, ok bool) {
+	if c.AtEnd() {
+		return Event{}, false
+	}
+	e := c.t.events[c.pos.idx]
+	if e.Kind == isa.ALU {
+		remaining := e.N - c.pos.off
+		n := remaining
+		if maxALU < n {
+			n = maxALU
+		}
+		if n == 0 {
+			// Caller has no issue slots; treat as a 0-instruction peek miss.
+			return Event{}, false
+		}
+		c.pos.off += n
+		c.pos.done += uint64(n)
+		if c.pos.off == e.N {
+			c.pos.idx++
+			c.pos.off = 0
+		}
+		return Event{Kind: isa.ALU, N: n}, true
+	}
+	c.pos.idx++
+	c.pos.done++
+	e.N = 1
+	return e, true
+}
+
+// Peek returns the next event kind without consuming it. ok is false at end.
+func (c *Cursor) Peek() (k isa.Kind, ok bool) {
+	if c.AtEnd() {
+		return 0, false
+	}
+	return c.t.events[c.pos.idx].Kind, true
+}
+
+// PeekEvent returns the next event in full without consuming it. For ALU
+// runs the returned N is the remaining run length.
+func (c *Cursor) PeekEvent() (ev Event, ok bool) {
+	if c.AtEnd() {
+		return Event{}, false
+	}
+	ev = c.t.events[c.pos.idx]
+	ev.N -= c.pos.off
+	return ev, true
+}
