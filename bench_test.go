@@ -204,6 +204,34 @@ func BenchmarkSpawnPolicy(b *testing.B) {
 	}
 }
 
+// BenchmarkTelemetry is the instrumentation-overhead guard: the "off" case
+// runs with a nil emitter and must stay within noise (<2%) of the pre-
+// telemetry baseline — compare with benchstat — because a nil emitter
+// reduces every instrumentation site to a pointer test. The other cases
+// price real sinks (a bounded ring, the metrics aggregator).
+func BenchmarkTelemetry(b *testing.B) {
+	cases := []struct {
+		name string
+		sink func() subthreads.TelemetryEmitter
+	}{
+		{"off", func() subthreads.TelemetryEmitter { return nil }},
+		{"ring", func() subthreads.TelemetryEmitter { return subthreads.NewTelemetryRing(4096) }},
+		{"metrics", func() subthreads.TelemetryEmitter { return subthreads.NewTelemetryMetrics() }},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			ref := seqReference(subthreads.NewOrder)
+			cfg := subthreads.Machine(subthreads.Baseline)
+			var res *subthreads.Result
+			for i := 0; i < b.N; i++ {
+				cfg.Telemetry = c.sink()
+				res, _ = subthreads.RunConfig(benchSpec(subthreads.NewOrder), cfg)
+			}
+			reportRun(b, res, ref)
+		})
+	}
+}
+
 // BenchmarkDependenceSweep regenerates (a diagonal of) the §1 synthetic
 // sweep: all-or-nothing vs sub-threads as thread size and dependence count
 // grow together.

@@ -2,27 +2,59 @@
 // profiler of §3.1: it runs a benchmark under TLS, collects the load/store PC
 // pairs that triggered violations together with the failed-speculation cycles
 // attributed to each, and prints them ranked by harm — the profile the
-// programmer uses to drive the iterative tuning process of §3.2.
+// programmer uses to drive the iterative tuning process of §3.2. With -json
+// the profile is emitted machine-readable; -trace-out/-metrics-out capture
+// the run's telemetry (timeline + metrics snapshot) alongside the profile.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"subthreads/internal/isa"
 	"subthreads/internal/sim"
+	"subthreads/internal/telemetry"
 	"subthreads/internal/tpcc"
 	"subthreads/internal/workload"
 )
 
+// pairJSON is one dependence of the machine-readable profile.
+type pairJSON struct {
+	LoadPC       isa.PC `json:"load_pc"`
+	LoadSite     string `json:"load_site"`
+	StorePC      isa.PC `json:"store_pc"`
+	StoreSite    string `json:"store_site"`
+	FailedCycles uint64 `json:"failed_cycles"`
+	Violations   uint64 `json:"violations"`
+}
+
+// profileJSON is the §3.1 dependence profile as JSON (-json).
+type profileJSON struct {
+	Benchmark           string     `json:"benchmark"`
+	Experiment          string     `json:"experiment"`
+	OptLevel            int        `json:"opt_level"`
+	Cycles              uint64     `json:"cycles"`
+	PrimaryViolations   uint64     `json:"primary_violations"`
+	SecondaryViolations uint64     `json:"secondary_violations"`
+	FailedCycles        uint64     `json:"failed_cycles_attributed"`
+	PairsTracked        int        `json:"pairs_tracked"`
+	Reclaimed           uint64     `json:"pairs_reclaimed"`
+	Pairs               []pairJSON `json:"pairs"`
+}
+
 func main() {
 	var (
-		benchName = flag.String("benchmark", "NEW ORDER", "benchmark name")
-		txns      = flag.Int("txns", 8, "measured transactions")
-		seed      = flag.Int64("seed", 42, "input seed")
-		optLevel  = flag.Int("opt", 0, "database optimization level to profile (0 = unoptimized)")
-		top       = flag.Int("top", 15, "number of dependences to report")
-		allOrNone = flag.Bool("all-or-nothing", false, "profile without sub-threads")
+		benchName  = flag.String("benchmark", "NEW ORDER", "benchmark name")
+		txns       = flag.Int("txns", 8, "measured transactions")
+		seed       = flag.Int64("seed", 42, "input seed")
+		optLevel   = flag.Int("opt", 0, "database optimization level to profile (0 = unoptimized)")
+		top        = flag.Int("top", 15, "number of dependences to report")
+		allOrNone  = flag.Bool("all-or-nothing", false, "profile without sub-threads")
+		jsonOut    = flag.Bool("json", false, "emit the dependence profile as JSON instead of text")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event timeline (ui.perfetto.dev)")
+		metricsOut = flag.String("metrics-out", "", "write a telemetry metrics snapshot as JSON")
 	)
 	flag.Parse()
 
@@ -40,8 +72,69 @@ func main() {
 	if *allOrNone {
 		exp = workload.NoSubthread
 	}
+	cfg := workload.Machine(exp)
+
+	var buf *telemetry.Buffer
+	var metrics *telemetry.Metrics
+	if *traceOut != "" || *metricsOut != "" {
+		buf = &telemetry.Buffer{}
+		metrics = telemetry.NewMetrics()
+		cfg.Telemetry = telemetry.Multi(buf, metrics)
+	}
+
 	built := workload.Build(spec, false)
-	res := sim.Run(workload.Machine(exp), built.Program)
+	res := sim.Run(cfg, built.Program)
+
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, func(f *os.File) error {
+			return telemetry.WriteChromeTrace(f, buf.Events, telemetry.TraceOptions{
+				SiteName: built.PCs.Name,
+			})
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeFile(*metricsOut, func(f *os.File) error {
+			return metrics.WriteJSON(f)
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if *jsonOut {
+		out := profileJSON{
+			Benchmark:           bench.String(),
+			Experiment:          exp.String(),
+			OptLevel:            *optLevel,
+			Cycles:              res.Cycles,
+			PrimaryViolations:   res.TLS.PrimaryViolations,
+			SecondaryViolations: res.TLS.SecondaryViolations,
+			FailedCycles:        res.Pairs.TotalFailedCycles(),
+			PairsTracked:        res.Pairs.Len(),
+			Reclaimed:           res.Pairs.Reclaimed,
+			Pairs:               []pairJSON{},
+		}
+		for _, st := range res.Pairs.Top(*top) {
+			out.Pairs = append(out.Pairs, pairJSON{
+				LoadPC:       st.LoadPC,
+				LoadSite:     built.PCs.Name(st.LoadPC),
+				StorePC:      st.StorePC,
+				StoreSite:    built.PCs.Name(st.StorePC),
+				FailedCycles: st.FailedCycles,
+				Violations:   st.Violations,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	fmt.Printf("benchmark %s, optimization level %d, %s\n", bench, *optLevel, exp)
 	fmt.Printf("violations: %d primary, %d secondary; failed cycles attributed: %d\n\n",
@@ -53,4 +146,18 @@ func main() {
 	fmt.Print(res.Pairs.Report(built.PCs, *top))
 	fmt.Println("\nTuning hint (§3.2): eliminate the top dependence in the DBMS code,")
 	fmt.Println("re-run with -opt increased, and iterate until the profile is flat.")
+}
+
+// writeFile creates path, runs write on it, and closes it, reporting the
+// first error.
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

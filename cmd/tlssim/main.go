@@ -17,9 +17,39 @@ import (
 
 	"subthreads/internal/report"
 	"subthreads/internal/sim"
+	"subthreads/internal/telemetry"
 	"subthreads/internal/tpcc"
 	"subthreads/internal/workload"
 )
+
+// writeTrace renders the captured event stream as a Perfetto-loadable Chrome
+// trace, resolving violation PCs through the workload's site registry.
+func writeTrace(path string, events []telemetry.Event, built *workload.Built) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteChromeTrace(f, events, telemetry.TraceOptions{
+		SiteName: built.PCs.Name,
+	}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeMetrics snapshots the telemetry metrics to a JSON file.
+func writeMetrics(path string, m *telemetry.Metrics) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 // summary is the machine-readable form of a run (-json).
 type summary struct {
@@ -59,6 +89,8 @@ func main() {
 		list       = flag.Bool("list", false, "list benchmarks and experiments")
 		profTop    = flag.Int("profile", 5, "show the top-N violated dependences (§3.1)")
 		jsonOut    = flag.Bool("json", false, "emit the measurement as JSON instead of text")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event timeline (ui.perfetto.dev)")
+		metricsOut = flag.String("metrics-out", "", "write a telemetry metrics snapshot as JSON")
 	)
 	flag.Parse()
 
@@ -107,15 +139,29 @@ func main() {
 		cfg.SubthreadSpacing = *spacing
 	}
 
+	var buf *telemetry.Buffer
+	var metrics *telemetry.Metrics
+	if *traceOut != "" || *metricsOut != "" {
+		buf = &telemetry.Buffer{}
+		metrics = telemetry.NewMetrics()
+		cfg.Telemetry = telemetry.Multi(buf, metrics)
+	}
+
 	seqRes, _ := workload.Run(spec, workload.Sequential)
-	var res *sim.Result
-	var built *workload.Built
-	if exp.SequentialSoftware() {
-		res, built = seqRes, nil
-		_, built = workload.Run(spec, workload.Sequential)
-	} else {
-		built = workload.Build(spec, false)
-		res = sim.Run(cfg, built.Program)
+	built := workload.Build(spec, exp.SequentialSoftware())
+	res := sim.Run(cfg, built.Program)
+
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, buf.Events, built); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, metrics); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	if *jsonOut {

@@ -1,0 +1,146 @@
+// Command tlstrace records a cycle-level telemetry trace of one benchmark
+// run and renders it as a Chrome trace-event timeline loadable in
+// ui.perfetto.dev (or chrome://tracing): per-CPU lanes of epochs and
+// sub-thread contexts, violations as instant events, latch holds and stalls
+// as slices. It can also stream the raw event log as JSONL and snapshot the
+// metrics layer (violation rewind depth, latch hold cycles, epoch lifetime,
+// inter-violation gap) to JSON.
+//
+// Example:
+//
+//	tlstrace -benchmark "NEW ORDER" -trace-out t.json
+//	tlstrace -benchmark "DELIVERY OUTER" -opt 5 -trace-out t.json -metrics-out m.json
+//
+// The default optimization level is 0 (the untuned engine), so a default run
+// shows the violations §3 teaches the programmer to tune away.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"subthreads/internal/sim"
+	"subthreads/internal/telemetry"
+	"subthreads/internal/tpcc"
+	"subthreads/internal/workload"
+)
+
+func main() {
+	var (
+		benchName  = flag.String("benchmark", "NEW ORDER", "benchmark name")
+		expName    = flag.String("experiment", "BASELINE", "machine configuration (see tlssim -list)")
+		txns       = flag.Int("txns", 4, "measured transactions")
+		warmup     = flag.Int("warmup", 1, "warm-up transactions")
+		seed       = flag.Int64("seed", 42, "input seed")
+		optLevel   = flag.Int("opt", 0, "database optimization level (0 = unoptimized, shows violations)")
+		subthreads = flag.Int("subthreads", 0, "override sub-thread contexts per thread")
+		spacing    = flag.Uint64("spacing", 0, "override speculative instructions per sub-thread")
+		traceOut   = flag.String("trace-out", "trace.json", "Chrome trace-event output (load in ui.perfetto.dev)")
+		metricsOut = flag.String("metrics-out", "", "metrics snapshot JSON output")
+		eventsOut  = flag.String("events-out", "", "raw event stream JSONL output")
+	)
+	flag.Parse()
+
+	bench, err := tpcc.Parse(*benchName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var exp workload.Experiment = -1
+	for e := workload.Experiment(0); e < workload.NumExperiments; e++ {
+		if e.String() == *expName {
+			exp = e
+		}
+	}
+	if exp < 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (see tlssim -list)\n", *expName)
+		os.Exit(2)
+	}
+
+	spec := workload.DefaultSpec(bench)
+	spec.Txns = *txns
+	spec.Warmup = *warmup
+	spec.Seed = *seed
+	spec.OptLevel = *optLevel
+
+	cfg := workload.Machine(exp)
+	if *subthreads > 0 {
+		cfg.TLS.SubthreadsPerEpoch = *subthreads
+	}
+	if *spacing > 0 {
+		cfg.SubthreadSpacing = *spacing
+	}
+
+	buf := &telemetry.Buffer{}
+	metrics := telemetry.NewMetrics()
+	sinks := []telemetry.Emitter{buf, metrics}
+	var jsonl *telemetry.JSONL
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		jsonl = telemetry.NewJSONL(f)
+		sinks = append(sinks, jsonl)
+	}
+	cfg.Telemetry = telemetry.Multi(sinks...)
+
+	built := workload.Build(spec, exp.SequentialSoftware())
+	res := sim.Run(cfg, built.Program)
+	if jsonl != nil {
+		if err := jsonl.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	f, err := os.Create(*traceOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := telemetry.WriteChromeTrace(f, buf.Events, telemetry.TraceOptions{
+		SiteName: built.PCs.Name,
+	}); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := metrics.WriteJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("benchmark %s, %s, opt %d: %d cycles, %d epochs\n",
+		bench, exp, *optLevel, res.Cycles, res.EpochCount)
+	fmt.Printf("events:    %d (%d primary, %d secondary violations; %d sub-thread starts)\n",
+		len(buf.Events), metrics.Count(telemetry.PrimaryViolation),
+		metrics.Count(telemetry.SecondaryViolation), metrics.Count(telemetry.SubthreadStart))
+	fmt.Printf("timeline:  %s  (open in ui.perfetto.dev)\n", *traceOut)
+	if *metricsOut != "" {
+		fmt.Printf("metrics:   %s\n", *metricsOut)
+	}
+	if *eventsOut != "" {
+		fmt.Printf("events:    %s (JSONL)\n", *eventsOut)
+	}
+}

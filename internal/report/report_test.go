@@ -1,6 +1,8 @@
 package report
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -75,6 +77,55 @@ func TestFormatters(t *testing.T) {
 	}
 	if I(42) != "42" {
 		t.Errorf("I = %q", I(42))
+	}
+}
+
+func TestResultJSON(t *testing.T) {
+	r := fakeResult(100, 60, 40)
+	r.CommittedInstrs = 500
+	r.RewoundInstrs = 20
+	r.EpochCount = 7
+	r.TLS.PrimaryViolations = 3
+	r.TLS.Commits = 7
+	r.L1Hits = 90
+	r.L1Misses = 10
+
+	j := FromResult(r)
+	if j.Cycles != 100 || j.EpochCount != 7 || j.CommittedInstrs != 500 {
+		t.Errorf("FromResult core fields wrong: %+v", j)
+	}
+	if len(j.Breakdown) != int(sim.NumCategories) {
+		t.Errorf("breakdown has %d keys, want %d", len(j.Breakdown), sim.NumCategories)
+	}
+	if j.Breakdown[sim.Busy.String()] != 60 || j.Breakdown[sim.Idle.String()] != 40 {
+		t.Errorf("breakdown values wrong: %v", j.Breakdown)
+	}
+	if j.TLS.PrimaryViolations != 3 || j.TLS.Commits != 7 {
+		t.Errorf("TLS stats wrong: %+v", j.TLS)
+	}
+	if j.Mem.L1Hits != 90 || j.Mem.L1Misses != 10 {
+		t.Errorf("memory stats wrong: %+v", j.Mem)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, r); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back ResultJSON
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if back.Cycles != 100 || back.Breakdown[sim.Busy.String()] != 60 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+
+	// Determinism: two encodings are byte-identical (map keys sorted).
+	var buf2 bytes.Buffer
+	if err := WriteJSON(&buf2, r); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("WriteJSON output is not deterministic")
 	}
 }
 

@@ -2,7 +2,9 @@ package sim
 
 import (
 	"subthreads/internal/cache"
+	"subthreads/internal/isa"
 	"subthreads/internal/profile"
+	"subthreads/internal/telemetry"
 	"subthreads/internal/tls"
 	"subthreads/internal/trace"
 )
@@ -84,6 +86,12 @@ func (m *machine) store(c *core, ev trace.Event) (selfSquashed bool) {
 		m.res.OverflowWaits++
 		c.overflowWait = true
 		c.overflowCommits = m.engine.Stats.Commits
+		if m.tel != nil {
+			m.tel.Emit(telemetry.Event{
+				Cycle: m.cycle, CPU: c.id, Kind: telemetry.OverflowStall,
+				Epoch: c.epoch.ID, Ctx: c.epoch.CurCtx, Addr: ev.Addr,
+			})
+		}
 	}
 	return m.applySquashesFrom(c, res.Squashes)
 }
@@ -111,6 +119,8 @@ func (m *machine) applySquashesFrom(caller *core, sqs []tls.Squash) (selfSquashe
 		if c == caller {
 			selfSquashed = true
 		}
+		// Rewind depth in sub-thread contexts, measured before truncation.
+		depth := len(c.ctxCycles) - 1 - sq.Ctx
 
 		// Failed-cycle accounting: everything the rewound contexts
 		// accrued becomes failed speculation.
@@ -132,8 +142,9 @@ func (m *machine) applySquashesFrom(caller *core, sqs []tls.Squash) (selfSquashe
 
 		// §3.1 profiling: pair the violating store PC with the exposed
 		// load PC of the violated line and charge the failed cycles.
+		var loadPC isa.PC
 		if sq.Reason == tls.Primary {
-			loadPC, _ := c.elt.Lookup(sq.Addr)
+			loadPC, _ = c.elt.Lookup(sq.Addr)
 			m.pairs.Attribute(profile.Pair{LoadPC: loadPC, StorePC: sq.StorePC}, failed)
 			if m.pred != nil {
 				m.pred.RecordViolation(loadPC)
@@ -145,7 +156,26 @@ func (m *machine) applySquashesFrom(caller *core, sqs []tls.Squash) (selfSquashe
 
 		// Rewind execution to the checkpoint.
 		ckpt := c.checkpoints[sq.Ctx]
-		m.res.RewoundInstrs += c.cursor.Done() - ckpt.Done()
+		rewound := c.cursor.Done() - ckpt.Done()
+		m.res.RewoundInstrs += rewound
+		if m.tel != nil {
+			ev := telemetry.Event{
+				Cycle: m.cycle, CPU: c.id, Epoch: sq.Epoch.ID,
+				Ctx: sq.Ctx, Depth: depth, Instrs: rewound,
+			}
+			switch sq.Reason {
+			case tls.Primary:
+				ev.Kind = telemetry.PrimaryViolation
+				ev.LoadPC = loadPC
+				ev.StorePC = sq.StorePC
+				ev.Addr = sq.Addr
+			case tls.Secondary:
+				ev.Kind = telemetry.SecondaryViolation
+			case tls.Overflow:
+				ev.Kind = telemetry.OverflowSquash
+			}
+			m.tel.Emit(ev)
+		}
 		c.cursor.Seek(ckpt)
 		c.checkpoints = c.checkpoints[:sq.Ctx+1]
 		c.ctxCycles = c.ctxCycles[:sq.Ctx+1]

@@ -9,6 +9,7 @@ import (
 	"subthreads/internal/mem"
 	"subthreads/internal/predict"
 	"subthreads/internal/profile"
+	"subthreads/internal/telemetry"
 	"subthreads/internal/tls"
 	"subthreads/internal/trace"
 )
@@ -87,6 +88,12 @@ type machine struct {
 	committed   int  // units fully committed
 	epochByPtr  map[*tls.Epoch]*core
 
+	// tel receives protocol events; nil when telemetry is disabled.
+	// lastToken tracks homefree-token passes (the epoch that most recently
+	// became oldest).
+	tel       telemetry.Emitter
+	lastToken *tls.Epoch
+
 	res Result
 }
 
@@ -113,6 +120,7 @@ func newMachine(cfg Config, prog *Program) *machine {
 		pairs:      profile.NewPairList(cfg.PairListEntries),
 		epochByPtr: make(map[*tls.Epoch]*core),
 		iTouched:   make(map[mem.Addr]bool),
+		tel:        cfg.Telemetry,
 	}
 	if cfg.UsePredictor {
 		m.pred = predict.New()
@@ -181,6 +189,28 @@ func (m *machine) run() {
 	m.res.Cycles = m.cycle
 }
 
+// emitHomefree reports homefree-token passes: whenever the oldest live epoch
+// changes (an epoch starts alone, or a commit hands the token on), the new
+// holder gets a HomefreeToken event.
+func (m *machine) emitHomefree() {
+	if m.tel == nil {
+		return
+	}
+	e := m.engine.Oldest()
+	if e == nil || e == m.lastToken {
+		return
+	}
+	m.lastToken = e
+	c := m.epochByPtr[e]
+	if c == nil {
+		return
+	}
+	m.tel.Emit(telemetry.Event{
+		Cycle: m.cycle, CPU: c.id, Kind: telemetry.HomefreeToken,
+		Epoch: e.ID, Ctx: e.CurCtx,
+	})
+}
+
 // breakDeadlock squashes the youngest live epoch holding a latch.
 func (m *machine) breakDeadlock() {
 	var victim *core
@@ -196,6 +226,12 @@ func (m *machine) breakDeadlock() {
 		return
 	}
 	m.res.LatchDeadlockBreaks++
+	if m.tel != nil {
+		m.tel.Emit(telemetry.Event{
+			Cycle: m.cycle, CPU: victim.id, Kind: telemetry.DeadlockBreak,
+			Epoch: victim.epoch.ID, Ctx: victim.epoch.CurCtx,
+		})
+	}
 	sqs := m.engine.ForceSquash(victim.epoch, 0, tls.Secondary)
 	m.applySquashes(sqs)
 }
@@ -227,6 +263,12 @@ func (m *machine) step(c *core) {
 		// has committed (freeing ways) or we hold the homefree token.
 		if m.engine.Oldest() == c.epoch || m.engine.Stats.Commits > c.overflowCommits {
 			c.overflowWait = false
+			if m.tel != nil {
+				m.tel.Emit(telemetry.Event{
+					Cycle: m.cycle, CPU: c.id, Kind: telemetry.OverflowResume,
+					Epoch: c.epoch.ID, Ctx: c.epoch.CurCtx,
+				})
+			}
 		} else {
 			m.accrue(c, Sync)
 			return
@@ -277,6 +319,13 @@ func (m *machine) tryStart(c *core) bool {
 	if !u.Barrier {
 		m.res.EpochCount++
 	}
+	if m.tel != nil {
+		m.tel.Emit(telemetry.Event{
+			Cycle: m.cycle, CPU: c.id, Kind: telemetry.EpochStart,
+			Epoch: c.epoch.ID, Barrier: u.Barrier,
+		})
+		m.emitHomefree()
+	}
 	return true
 }
 
@@ -290,9 +339,18 @@ func (m *machine) finishEpoch(c *core) {
 	if m.prog.Units[c.unit].Barrier {
 		m.barrierLive = false
 	}
-	_, sqs := m.engine.CommitOldest()
+	committed, sqs := m.engine.CommitOldest()
 	delete(m.epochByPtr, c.epoch)
+	if m.tel != nil {
+		m.tel.Emit(telemetry.Event{
+			Cycle: m.cycle, CPU: c.id, Kind: telemetry.EpochCommit,
+			Epoch: committed.ID, Ctx: committed.CurCtx,
+			Barrier: m.prog.Units[c.unit].Barrier,
+			Instrs:  c.cursor.Trace().Instrs(),
+		})
+	}
 	m.applySquashes(sqs)
+	m.emitHomefree()
 	m.res.CommittedInstrs += c.cursor.Trace().Instrs()
 	m.committed++
 	c.epoch = nil
@@ -330,6 +388,12 @@ func (m *machine) retrySync(c *core) {
 	// Latch wait.
 	if m.engine.AcquireLatch(c.epoch, c.syncAddr) {
 		c.syncing = false
+		if m.tel != nil {
+			m.tel.Emit(telemetry.Event{
+				Cycle: m.cycle, CPU: c.id, Kind: telemetry.LatchAcquired,
+				Epoch: c.epoch.ID, Ctx: c.epoch.CurCtx, Addr: c.syncAddr,
+			})
+		}
 		// Consume the latch-acquire event we peeked at.
 		ev, ok := c.cursor.Next(1)
 		if !ok || ev.Kind != isa.LatchAcquire {
@@ -370,10 +434,22 @@ func (m *machine) execute(c *core) {
 					c.predSync = false
 					c.syncAddr = ev.Addr
 					c.syncPC = ev.PC
+					if m.tel != nil {
+						m.tel.Emit(telemetry.Event{
+							Cycle: m.cycle, CPU: c.id, Kind: telemetry.LatchStall,
+							Epoch: c.epoch.ID, Ctx: c.epoch.CurCtx, Addr: ev.Addr,
+						})
+					}
 					m.accrue(c, Sync)
 					return
 				}
 				break
+			}
+			if m.tel != nil {
+				m.tel.Emit(telemetry.Event{
+					Cycle: m.cycle, CPU: c.id, Kind: telemetry.LatchAcquired,
+					Epoch: c.epoch.ID, Ctx: c.epoch.CurCtx, Addr: ev.Addr,
+				})
 			}
 			c.cursor.Next(1)
 			budget--
@@ -469,6 +545,12 @@ func (m *machine) execute(c *core) {
 		case isa.LatchRelease:
 			budget--
 			m.engine.ReleaseLatch(c.epoch, ev.Addr)
+			if m.tel != nil {
+				m.tel.Emit(telemetry.Event{
+					Cycle: m.cycle, CPU: c.id, Kind: telemetry.LatchReleased,
+					Epoch: c.epoch.ID, Ctx: c.epoch.CurCtx, Addr: ev.Addr,
+				})
+			}
 		default:
 			panic(fmt.Sprintf("sim: unhandled event kind %v", ev.Kind))
 		}
@@ -564,6 +646,12 @@ func (m *machine) spawn(c *core) bool {
 	}
 	c.checkpoints[ctx] = c.cursor.Pos()
 	c.ctxCycles[ctx] = Breakdown{}
+	if m.tel != nil {
+		m.tel.Emit(telemetry.Event{
+			Cycle: m.cycle, CPU: c.id, Kind: telemetry.SubthreadStart,
+			Epoch: c.epoch.ID, Ctx: ctx,
+		})
+	}
 	c.elt.Reset() // exposure is tracked per sub-thread (§3.1)
 	if m.cfg.RegBackupPenalty > 0 {
 		// Backing the register file up to memory stalls the pipeline.

@@ -10,6 +10,7 @@ import (
 
 	"subthreads/internal/cpu"
 	"subthreads/internal/profile"
+	"subthreads/internal/telemetry"
 	"subthreads/internal/tls"
 	"subthreads/internal/trace"
 )
@@ -161,6 +162,13 @@ type Config struct {
 	// LatchDeadlockCycles breaks cross-epoch latch waits that exceed this
 	// bound by squashing the youngest latch holder. 0 uses the default.
 	LatchDeadlockCycles uint64
+
+	// Telemetry receives cycle-stamped protocol events (epoch lifecycle,
+	// sub-thread spawns, violations, latch traffic, stalls — see the
+	// telemetry package comment for the schema). nil disables
+	// instrumentation; the only residual cost is a pointer test at each
+	// protocol event, never on the per-instruction path.
+	Telemetry telemetry.Emitter
 }
 
 // DefaultConfig returns the paper's BASELINE machine: 4 CPUs, 8 sub-threads

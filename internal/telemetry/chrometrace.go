@@ -1,0 +1,255 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"subthreads/internal/isa"
+	"subthreads/internal/mem"
+)
+
+// TraceOptions customizes the Chrome trace-event export.
+type TraceOptions struct {
+	// SiteName resolves a synthetic PC to its instrumentation-site name for
+	// violation annotations (typically isa.PCRegistry.Name). nil renders
+	// raw PC numbers.
+	SiteName func(isa.PC) string
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON array. Timestamps
+// are nominally microseconds; the export maps one simulated cycle to one
+// microsecond, so Perfetto's "us" readout is really cycles.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    uint64         `json:"ts"`
+	Dur   uint64         `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// Each CPU owns three timeline lanes in the rendered trace.
+const (
+	laneEpoch    = 0 // epoch slices, homefree/deadlock instants
+	laneSubthr   = 1 // sub-thread context slices, violation instants
+	laneLatch    = 2 // latch holds, latch/overflow stalls
+	lanesPerCPU  = 3
+	tracePID     = 0
+	instantScope = "t" // thread-scoped instant marks
+)
+
+func laneTID(cpu, lane int) int { return cpu*lanesPerCPU + lane }
+
+// openSlice is a duration event under construction.
+type openSlice struct {
+	name  string
+	start uint64
+	args  map[string]any
+	depth int // re-entrant latch acquisitions
+	ctx   int // acquiring sub-thread context (latch holds)
+}
+
+// traceBuilder accumulates chromeEvents while scanning the stream.
+type traceBuilder struct {
+	opt  TraceOptions
+	out  []chromeEvent
+	last uint64 // latest cycle seen, used to close dangling slices
+}
+
+func (tb *traceBuilder) site(pc isa.PC) string {
+	if tb.opt.SiteName != nil {
+		return tb.opt.SiteName(pc)
+	}
+	return fmt.Sprintf("pc%d", pc)
+}
+
+func (tb *traceBuilder) slice(cpu, lane int, s *openSlice, end uint64) {
+	if s == nil {
+		return
+	}
+	tb.out = append(tb.out, chromeEvent{
+		Name: s.name, Phase: "X", TS: s.start, Dur: end - s.start,
+		PID: tracePID, TID: laneTID(cpu, lane), Args: s.args,
+	})
+}
+
+func (tb *traceBuilder) instant(cpu, lane int, cycle uint64, name string, args map[string]any) {
+	tb.out = append(tb.out, chromeEvent{
+		Name: name, Phase: "i", TS: cycle, Scope: instantScope,
+		PID: tracePID, TID: laneTID(cpu, lane), Args: args,
+	})
+}
+
+// closeHolds ends every open latch hold acquired in context minCtx or later,
+// in address order so the output stays deterministic.
+func (tb *traceBuilder) closeHolds(cpu int, holds map[mem.Addr]*openSlice, minCtx int, end uint64) {
+	addrs := make([]mem.Addr, 0, len(holds))
+	for a, h := range holds {
+		if h.ctx >= minCtx {
+			addrs = append(addrs, a)
+		}
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		tb.slice(cpu, laneLatch, holds[a], end)
+		delete(holds, a)
+	}
+}
+
+func (tb *traceBuilder) meta(tid int, key, value string) {
+	tb.out = append(tb.out, chromeEvent{
+		Name: key, Phase: "M", PID: tracePID, TID: tid,
+		Args: map[string]any{"name": value},
+	})
+}
+
+// cpuState tracks the open slices of one CPU's three lanes.
+type cpuState struct {
+	epoch  *openSlice
+	subthr *openSlice
+	stall  *openSlice              // latch or overflow stall on laneLatch
+	holds  map[mem.Addr]*openSlice // open latch holds
+}
+
+// WriteChromeTrace renders the event stream as Chrome trace-event JSON
+// (the object form, {"traceEvents": [...]}), loadable in ui.perfetto.dev or
+// chrome://tracing. Each CPU gets three lanes: epochs (with homefree-token
+// and deadlock-break instants), sub-thread contexts (with violation
+// instants), and latches/stalls. One simulated cycle renders as one
+// microsecond. Events must be in emission (cycle) order, as produced by any
+// sink in this package.
+func WriteChromeTrace(w io.Writer, events []Event, opt TraceOptions) error {
+	tb := &traceBuilder{opt: opt}
+	cpus := map[int]*cpuState{}
+	cpu := func(id int) *cpuState {
+		s := cpus[id]
+		if s == nil {
+			s = &cpuState{holds: make(map[mem.Addr]*openSlice)}
+			cpus[id] = s
+			tb.meta(laneTID(id, laneEpoch), "thread_name", fmt.Sprintf("cpu%d epochs", id))
+			tb.meta(laneTID(id, laneSubthr), "thread_name", fmt.Sprintf("cpu%d sub-threads", id))
+			tb.meta(laneTID(id, laneLatch), "thread_name", fmt.Sprintf("cpu%d latches", id))
+		}
+		return s
+	}
+	tb.out = append(tb.out, chromeEvent{
+		Name: "process_name", Phase: "M", PID: tracePID,
+		Args: map[string]any{"name": "subthreads TLS simulator"},
+	})
+
+	for _, ev := range events {
+		if ev.Cycle > tb.last {
+			tb.last = ev.Cycle
+		}
+		c := cpu(ev.CPU)
+		switch ev.Kind {
+		case EpochStart:
+			name := fmt.Sprintf("epoch %d", ev.Epoch)
+			if ev.Barrier {
+				name = fmt.Sprintf("barrier %d", ev.Epoch)
+			}
+			c.epoch = &openSlice{name: name, start: ev.Cycle}
+			c.subthr = &openSlice{name: "ctx 0", start: ev.Cycle}
+
+		case EpochCommit:
+			tb.slice(ev.CPU, laneEpoch, c.epoch, ev.Cycle)
+			tb.slice(ev.CPU, laneSubthr, c.subthr, ev.Cycle)
+			tb.slice(ev.CPU, laneLatch, c.stall, ev.Cycle)
+			tb.closeHolds(ev.CPU, c.holds, 0, ev.Cycle)
+			c.epoch, c.subthr, c.stall = nil, nil, nil
+
+		case SubthreadStart:
+			tb.slice(ev.CPU, laneSubthr, c.subthr, ev.Cycle)
+			c.subthr = &openSlice{name: fmt.Sprintf("ctx %d", ev.Ctx), start: ev.Cycle}
+
+		case PrimaryViolation, SecondaryViolation, OverflowSquash:
+			args := map[string]any{
+				"depth":          ev.Depth,
+				"rewound_instrs": ev.Instrs,
+				"rewind_ctx":     ev.Ctx,
+			}
+			name := "secondary violation"
+			switch ev.Kind {
+			case PrimaryViolation:
+				name = "primary violation"
+				args["load"] = tb.site(ev.LoadPC)
+				args["store"] = tb.site(ev.StorePC)
+				args["addr"] = ev.Addr.String()
+			case OverflowSquash:
+				name = "overflow squash"
+			}
+			tb.instant(ev.CPU, laneSubthr, ev.Cycle, name, args)
+			// The violated contexts disappear: close the running context
+			// slice and reopen at the rewind target.
+			tb.slice(ev.CPU, laneSubthr, c.subthr, ev.Cycle)
+			c.subthr = &openSlice{name: fmt.Sprintf("ctx %d (replay)", ev.Ctx), start: ev.Cycle}
+			// Squashed contexts release their latches and cancel stalls.
+			tb.slice(ev.CPU, laneLatch, c.stall, ev.Cycle)
+			c.stall = nil
+			tb.closeHolds(ev.CPU, c.holds, ev.Ctx, ev.Cycle)
+
+		case LatchAcquired:
+			tb.slice(ev.CPU, laneLatch, c.stall, ev.Cycle)
+			c.stall = nil
+			if h := c.holds[ev.Addr]; h != nil {
+				h.depth++ // re-entrant acquire extends the open hold
+				break
+			}
+			c.holds[ev.Addr] = &openSlice{
+				name: "latch " + ev.Addr.String(), start: ev.Cycle, depth: 1, ctx: ev.Ctx,
+			}
+
+		case LatchReleased:
+			h := c.holds[ev.Addr]
+			if h == nil {
+				break // release of an acquire undone by a squash
+			}
+			h.depth--
+			if h.depth == 0 {
+				tb.slice(ev.CPU, laneLatch, h, ev.Cycle)
+				delete(c.holds, ev.Addr)
+			}
+
+		case LatchStall:
+			c.stall = &openSlice{name: "latch stall " + ev.Addr.String(), start: ev.Cycle}
+
+		case OverflowStall:
+			c.stall = &openSlice{name: "overflow stall", start: ev.Cycle}
+
+		case OverflowResume:
+			tb.slice(ev.CPU, laneLatch, c.stall, ev.Cycle)
+			c.stall = nil
+
+		case HomefreeToken:
+			tb.instant(ev.CPU, laneEpoch, ev.Cycle, "homefree token", nil)
+
+		case DeadlockBreak:
+			tb.instant(ev.CPU, laneEpoch, ev.Cycle, "deadlock break", nil)
+		}
+	}
+
+	// Close anything still open at the end of the stream (aborted runs,
+	// ring-buffer tails), in CPU order so the output stays deterministic.
+	ids := make([]int, 0, len(cpus))
+	for id := range cpus {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		c := cpus[id]
+		tb.slice(id, laneEpoch, c.epoch, tb.last)
+		tb.slice(id, laneSubthr, c.subthr, tb.last)
+		tb.slice(id, laneLatch, c.stall, tb.last)
+		tb.closeHolds(id, c.holds, 0, tb.last)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+		TimeUnit    string        `json:"displayTimeUnit"`
+	}{tb.out, "ms"})
+}

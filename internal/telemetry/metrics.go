@@ -1,0 +1,240 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"math/bits"
+
+	"subthreads/internal/mem"
+)
+
+// Histogram is a power-of-two-bucketed distribution of uint64 samples.
+// Bucket i counts samples whose bit length is i: bucket 0 holds zeros,
+// bucket i (i >= 1) holds values in [2^(i-1), 2^i).
+type Histogram struct {
+	Count   uint64
+	Sum     uint64
+	Min     uint64
+	Max     uint64
+	buckets [65]uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	if h.Count == 0 || v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+	h.Count++
+	h.Sum += v
+	h.buckets[bits.Len64(v)]++
+}
+
+// Mean returns the average sample, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Bucket is one non-empty histogram bucket in a snapshot: Count samples were
+// <= Le (and greater than the previous bucket's Le).
+type Bucket struct {
+	Le    uint64 `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is the JSON form of a histogram.
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Min     uint64   `json:"min"`
+	Max     uint64   `json:"max"`
+	Mean    float64  `json:"mean"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot renders the histogram, listing only non-empty buckets.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max, Mean: h.Mean()}
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		le := uint64(0)
+		if i > 0 {
+			le = 1<<uint(i) - 1
+		}
+		s.Buckets = append(s.Buckets, Bucket{Le: le, Count: n})
+	}
+	return s
+}
+
+// latchKey identifies one open latch hold.
+type latchKey struct {
+	cpu  int
+	addr mem.Addr
+}
+
+// latchOpen is the state of one in-progress latch hold.
+type latchOpen struct {
+	since uint64
+	ctx   int
+	depth int
+}
+
+// Metrics consumes the event stream and maintains the paper-relevant
+// distributions: how deep violations rewind, how long latches are held, how
+// long epochs live, and how far apart violations land. It implements Emitter
+// so it can tap the stream directly (alone or via Multi).
+type Metrics struct {
+	counters [NumKinds]uint64
+
+	// RewindDepth is the sub-thread contexts rewound per violation — the
+	// paper's core claim is that this stays small (§2.2).
+	RewindDepth Histogram
+	// RewindInstrs is the instructions rewound per violation.
+	RewindInstrs Histogram
+	// LatchHold is cycles from latch acquisition to release.
+	LatchHold Histogram
+	// LatchStallCycles is cycles spent waiting for a held latch.
+	LatchStallCycles Histogram
+	// EpochLifetime is cycles from epoch start to commit.
+	EpochLifetime Histogram
+	// InterViolationGap is cycles between consecutive primary violations.
+	InterViolationGap Histogram
+
+	epochStart map[uint64]uint64   // epoch ID -> start cycle
+	latches    map[latchKey]*latchOpen
+	stallSince map[int]uint64 // CPU -> latch-stall begin cycle
+	lastPrimary uint64
+	sawPrimary  bool
+}
+
+// NewMetrics returns an empty metrics collector.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		epochStart: make(map[uint64]uint64),
+		latches:    make(map[latchKey]*latchOpen),
+		stallSince: make(map[int]uint64),
+	}
+}
+
+// Count returns how many events of kind k were seen.
+func (m *Metrics) Count(k Kind) uint64 {
+	if int(k) < len(m.counters) {
+		return m.counters[k]
+	}
+	return 0
+}
+
+// Emit implements Emitter.
+func (m *Metrics) Emit(ev Event) {
+	if int(ev.Kind) < len(m.counters) {
+		m.counters[ev.Kind]++
+	}
+	switch ev.Kind {
+	case EpochStart:
+		m.epochStart[ev.Epoch] = ev.Cycle
+
+	case EpochCommit:
+		if start, ok := m.epochStart[ev.Epoch]; ok {
+			m.EpochLifetime.Observe(ev.Cycle - start)
+			delete(m.epochStart, ev.Epoch)
+		}
+		m.closeLatches(ev.CPU, 0, ev.Cycle)
+
+	case PrimaryViolation, SecondaryViolation, OverflowSquash:
+		m.RewindDepth.Observe(uint64(ev.Depth))
+		m.RewindInstrs.Observe(ev.Instrs)
+		if ev.Kind == PrimaryViolation {
+			if m.sawPrimary {
+				m.InterViolationGap.Observe(ev.Cycle - m.lastPrimary)
+			}
+			m.sawPrimary = true
+			m.lastPrimary = ev.Cycle
+		}
+		// Holds acquired by the rewound contexts were released by the
+		// squash; their hold time still counts — the latch was occupied.
+		m.closeLatches(ev.CPU, ev.Ctx, ev.Cycle)
+		delete(m.stallSince, ev.CPU)
+
+	case LatchAcquired:
+		if since, ok := m.stallSince[ev.CPU]; ok {
+			m.LatchStallCycles.Observe(ev.Cycle - since)
+			delete(m.stallSince, ev.CPU)
+		}
+		k := latchKey{ev.CPU, ev.Addr}
+		if lo := m.latches[k]; lo != nil {
+			lo.depth++
+			return
+		}
+		m.latches[k] = &latchOpen{since: ev.Cycle, ctx: ev.Ctx, depth: 1}
+
+	case LatchStall:
+		m.stallSince[ev.CPU] = ev.Cycle
+
+	case LatchReleased:
+		k := latchKey{ev.CPU, ev.Addr}
+		lo := m.latches[k]
+		if lo == nil {
+			return // release whose acquire was undone by a squash
+		}
+		lo.depth--
+		if lo.depth == 0 {
+			m.LatchHold.Observe(ev.Cycle - lo.since)
+			delete(m.latches, k)
+		}
+	}
+}
+
+// closeLatches finishes every open hold of the CPU acquired in context
+// minCtx or later.
+func (m *Metrics) closeLatches(cpu, minCtx int, cycle uint64) {
+	for k, lo := range m.latches {
+		if k.cpu == cpu && lo.ctx >= minCtx {
+			m.LatchHold.Observe(cycle - lo.since)
+			delete(m.latches, k)
+		}
+	}
+}
+
+// Snapshot is the JSON form of the metrics at one point in time.
+type Snapshot struct {
+	// Events is the total number of events consumed.
+	Events uint64 `json:"events"`
+	// Counters maps event-kind names to occurrence counts.
+	Counters map[string]uint64 `json:"counters"`
+	// Histograms maps distribution names to their snapshots.
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures the current state.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]uint64, NumKinds),
+		Histograms: make(map[string]HistogramSnapshot, 6),
+	}
+	for k := Kind(0); k < NumKinds; k++ {
+		s.Events += m.counters[k]
+		s.Counters[k.String()] = m.counters[k]
+	}
+	s.Histograms["violation_rewind_depth"] = m.RewindDepth.Snapshot()
+	s.Histograms["violation_rewind_instrs"] = m.RewindInstrs.Snapshot()
+	s.Histograms["latch_hold_cycles"] = m.LatchHold.Snapshot()
+	s.Histograms["latch_stall_cycles"] = m.LatchStallCycles.Snapshot()
+	s.Histograms["epoch_lifetime_cycles"] = m.EpochLifetime.Snapshot()
+	s.Histograms["inter_violation_gap_cycles"] = m.InterViolationGap.Snapshot()
+	return s
+}
+
+// WriteJSON writes an indented snapshot to w. encoding/json sorts map keys,
+// so identical metric states produce identical bytes.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m.Snapshot())
+}

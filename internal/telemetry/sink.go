@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// Buffer is an unbounded in-memory sink, the raw material for the Chrome
+// trace exporter and offline analysis.
+type Buffer struct {
+	Events []Event
+}
+
+// Emit implements Emitter.
+func (b *Buffer) Emit(ev Event) { b.Events = append(b.Events, ev) }
+
+// Reset discards the captured events, keeping the allocation.
+func (b *Buffer) Reset() { b.Events = b.Events[:0] }
+
+// Ring is a bounded in-memory sink that keeps the most recent events,
+// overwriting the oldest when full — the "flight recorder" mode for long
+// runs where only the tail matters.
+type Ring struct {
+	buf     []Event
+	next    int
+	full    bool
+	Dropped uint64
+}
+
+// NewRing returns a ring holding at most capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		panic("telemetry: ring capacity < 1")
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Emit implements Emitter.
+func (r *Ring) Emit(ev Event) {
+	if r.full {
+		r.Dropped++
+	}
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Len reports how many events the ring currently holds.
+func (r *Ring) Len() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// JSONL streams each event as one JSON object per line — the on-disk event
+// format, suitable for `jq` pipelines and byte-for-byte determinism checks.
+// Encoding errors are sticky: the first one is kept and later emits are
+// dropped; check Flush (or Err) after the run.
+type JSONL struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONL returns a streaming JSONL sink over w.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriter(w)
+	return &JSONL{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit implements Emitter.
+func (j *JSONL) Emit(ev Event) {
+	if j.err != nil {
+		return
+	}
+	j.err = j.enc.Encode(ev)
+}
+
+// Err returns the first error the sink encountered, if any.
+func (j *JSONL) Err() error { return j.err }
+
+// Flush drains the buffer and returns the first error encountered.
+func (j *JSONL) Flush() error {
+	if err := j.w.Flush(); j.err == nil {
+		j.err = err
+	}
+	return j.err
+}
+
+// multi fans one stream out to several sinks.
+type multi []Emitter
+
+func (m multi) Emit(ev Event) {
+	for _, e := range m {
+		e.Emit(ev)
+	}
+}
+
+// Multi returns an emitter that forwards every event to each non-nil sink.
+// With zero or one live sink it avoids the fan-out indirection entirely.
+func Multi(sinks ...Emitter) Emitter {
+	live := make(multi, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	default:
+		return live
+	}
+}
+
+// EncodeJSONL writes events as JSON Lines to w — the batch counterpart of the
+// streaming JSONL sink, producing identical bytes for identical streams.
+func EncodeJSONL(w io.Writer, events []Event) error {
+	j := NewJSONL(w)
+	for _, ev := range events {
+		j.Emit(ev)
+	}
+	return j.Flush()
+}

@@ -1,0 +1,156 @@
+// Package telemetry is the simulator's observability layer: cycle-stamped
+// protocol events emitted by internal/sim at every TLS protocol point, the
+// sinks that capture them (ring buffer, unbounded buffer, streaming JSONL),
+// a Chrome trace-event exporter that renders per-CPU timelines loadable in
+// ui.perfetto.dev, and a metrics layer (counters + power-of-two histograms)
+// snapshotted to JSON.
+//
+// Instrumentation is zero-overhead when disabled: the simulator guards every
+// emission site with a nil test on the configured Emitter, and sites exist
+// only at protocol events (epoch lifecycle, sub-thread spawns, violations,
+// latch traffic, stalls) — never on the per-instruction hot path. Event
+// streams are deterministic: two runs with the same seed and configuration
+// produce byte-identical JSONL encodings.
+//
+// # Event schema
+//
+// Every event carries the cycle it happened on, the CPU it happened to, the
+// epoch ID and sub-thread context involved, and a Kind. Kind-specific fields:
+//
+//	EpochStart         an epoch began on CPU; Barrier marks serial regions.
+//	EpochCommit        the epoch committed; Ctx is the final context, Instrs
+//	                   the trace length retired.
+//	SubthreadStart     a sub-thread checkpoint was taken; Ctx is the new
+//	                   context (§2.2).
+//	PrimaryViolation   the epoch's own exposed load was violated: Ctx is the
+//	                   rewind target, Depth the number of sub-thread contexts
+//	                   rewound, Instrs the instructions rewound, LoadPC/
+//	                   StorePC the offending dependence pair (§3.1), Addr the
+//	                   violated address.
+//	SecondaryViolation a logically-earlier epoch's violation cascaded here
+//	                   (Figure 4); Ctx/Depth/Instrs as above.
+//	OverflowSquash     speculative state fell out of the victim cache and the
+//	                   owning sub-thread rewound (§2.1).
+//	LatchAcquired      an escaped-speculation latch was granted; Addr is the
+//	                   latch address.
+//	LatchStall         the epoch began stalling on a latch held by another
+//	                   live epoch (the paper's "Latch Stall").
+//	LatchReleased      the latch at Addr was released.
+//	HomefreeToken      the epoch became the oldest and received the homefree
+//	                   token (it can no longer be violated).
+//	OverflowStall      the epoch stalled because speculative state could not
+//	                   be buffered (OverflowStall policy, §2.1).
+//	OverflowResume     the overflow stall ended (an earlier epoch committed).
+//	DeadlockBreak      the latch-deadlock watchdog squashed this epoch.
+//
+// Unused fields are zero and omitted from JSON encodings.
+package telemetry
+
+import (
+	"fmt"
+
+	"subthreads/internal/isa"
+	"subthreads/internal/mem"
+)
+
+// Kind classifies a telemetry event.
+type Kind uint8
+
+const (
+	// EpochStart: a speculative thread (or barrier unit) began on a CPU.
+	EpochStart Kind = iota
+	// EpochCommit: the oldest epoch passed its state to the architecture.
+	EpochCommit
+	// SubthreadStart: a sub-thread checkpoint was taken (§2.2).
+	SubthreadStart
+	// PrimaryViolation: an exposed load was violated by an earlier store.
+	PrimaryViolation
+	// SecondaryViolation: a cascading rewind from an earlier epoch's
+	// violation (Figure 4).
+	SecondaryViolation
+	// OverflowSquash: speculative state could not be buffered and the
+	// owning sub-thread rewound (§2.1).
+	OverflowSquash
+	// LatchAcquired: an escaped-speculation latch was granted.
+	LatchAcquired
+	// LatchStall: execution began stalling on a held latch.
+	LatchStall
+	// LatchReleased: a latch was released.
+	LatchReleased
+	// HomefreeToken: the epoch became oldest and can commit freely.
+	HomefreeToken
+	// OverflowStall: the epoch stalled on speculative-buffer exhaustion.
+	OverflowStall
+	// OverflowResume: the overflow stall ended.
+	OverflowResume
+	// DeadlockBreak: the watchdog squashed a latch-deadlocked epoch.
+	DeadlockBreak
+	// NumKinds is the number of distinct event kinds.
+	NumKinds
+)
+
+var kindNames = [...]string{
+	EpochStart:         "epoch-start",
+	EpochCommit:        "epoch-commit",
+	SubthreadStart:     "subthread-start",
+	PrimaryViolation:   "violation-primary",
+	SecondaryViolation: "violation-secondary",
+	OverflowSquash:     "overflow-squash",
+	LatchAcquired:      "latch-acquired",
+	LatchStall:         "latch-stall",
+	LatchReleased:      "latch-released",
+	HomefreeToken:      "homefree-token",
+	OverflowStall:      "overflow-stall",
+	OverflowResume:     "overflow-resume",
+	DeadlockBreak:      "deadlock-break",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// MarshalJSON encodes the kind as its string name, keeping JSONL streams and
+// metric snapshots readable and stable across kind renumbering.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// Event is one cycle-stamped protocol event. See the package comment for the
+// per-kind field schema.
+type Event struct {
+	Cycle uint64 `json:"cycle"`
+	CPU   int    `json:"cpu"`
+	Kind  Kind   `json:"kind"`
+	Epoch uint64 `json:"epoch"`
+	Ctx   int    `json:"ctx"`
+	// Barrier marks EpochStart events for serial (barrier) units.
+	Barrier bool `json:"barrier,omitempty"`
+	// Depth is the number of sub-thread contexts a violation rewound.
+	Depth int `json:"depth,omitempty"`
+	// Instrs is the instructions rewound (violations) or retired (commits).
+	Instrs uint64 `json:"instrs,omitempty"`
+	// LoadPC/StorePC identify the violated dependence pair (§3.1).
+	LoadPC  isa.PC `json:"load_pc,omitempty"`
+	StorePC isa.PC `json:"store_pc,omitempty"`
+	// Addr is the violated address or the latch address.
+	Addr mem.Addr `json:"addr,omitempty"`
+}
+
+// Emitter receives the event stream. Implementations must not mutate events
+// and must be deterministic observers: the simulator's behaviour is identical
+// with any emitter, including none.
+//
+// The simulator treats a nil Emitter as disabled instrumentation; Noop is the
+// explicit no-op for call sites that want a non-nil default.
+type Emitter interface {
+	Emit(Event)
+}
+
+// Noop discards every event — the explicit form of disabled telemetry.
+type Noop struct{}
+
+// Emit implements Emitter by doing nothing.
+func (Noop) Emit(Event) {}

@@ -1,0 +1,279 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"subthreads/internal/isa"
+)
+
+func TestKindNamesAndJSON(t *testing.T) {
+	seen := map[string]bool{}
+	for k := Kind(0); k < NumKinds; k++ {
+		name := k.String()
+		if strings.HasPrefix(name, "kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+		if seen[name] {
+			t.Errorf("duplicate kind name %q", name)
+		}
+		seen[name] = true
+		b, err := json.Marshal(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b) != `"`+name+`"` {
+			t.Errorf("kind %d marshals to %s", k, b)
+		}
+	}
+}
+
+func TestBufferAndNoop(t *testing.T) {
+	var b Buffer
+	Noop{}.Emit(Event{Kind: EpochStart})
+	b.Emit(Event{Cycle: 1, Kind: EpochStart})
+	b.Emit(Event{Cycle: 2, Kind: EpochCommit})
+	if len(b.Events) != 2 || b.Events[1].Kind != EpochCommit {
+		t.Fatalf("buffer captured %+v", b.Events)
+	}
+	b.Reset()
+	if len(b.Events) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestRingKeepsTail(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Cycle: uint64(i)})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Dropped != 6 {
+		t.Fatalf("Dropped = %d, want 6", r.Dropped)
+	}
+	evs := r.Events()
+	for i, ev := range evs {
+		if want := uint64(6 + i); ev.Cycle != want {
+			t.Errorf("event %d cycle = %d, want %d", i, ev.Cycle, want)
+		}
+	}
+	// Partially-filled ring returns only what it holds, oldest first.
+	r2 := NewRing(8)
+	r2.Emit(Event{Cycle: 7})
+	if got := r2.Events(); len(got) != 1 || got[0].Cycle != 7 {
+		t.Fatalf("partial ring events = %+v", got)
+	}
+}
+
+func TestJSONLStreamMatchesBatchEncode(t *testing.T) {
+	events := []Event{
+		{Cycle: 10, CPU: 1, Kind: EpochStart, Epoch: 3},
+		{Cycle: 20, CPU: 1, Kind: PrimaryViolation, Epoch: 3, Ctx: 2, Depth: 1,
+			Instrs: 500, LoadPC: 7, StorePC: 9, Addr: 0x40},
+		{Cycle: 30, CPU: 1, Kind: EpochCommit, Epoch: 3, Instrs: 9000},
+	}
+	var stream bytes.Buffer
+	j := NewJSONL(&stream)
+	for _, ev := range events {
+		j.Emit(ev)
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var batch bytes.Buffer
+	if err := EncodeJSONL(&batch, events); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stream.Bytes(), batch.Bytes()) {
+		t.Error("streaming and batch JSONL differ")
+	}
+	lines := strings.Split(strings.TrimSpace(stream.String()), "\n")
+	if len(lines) != len(events) {
+		t.Fatalf("%d lines for %d events", len(lines), len(events))
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &decoded); err != nil {
+		t.Fatalf("line 1 is not JSON: %v", err)
+	}
+	if decoded["kind"] != "violation-primary" {
+		t.Errorf("kind = %v", decoded["kind"])
+	}
+	if _, ok := decoded["load_pc"]; !ok {
+		t.Error("violation line lost load_pc")
+	}
+	// Zero-valued kind-specific fields are omitted.
+	if strings.Contains(lines[0], "load_pc") {
+		t.Error("epoch-start line carries load_pc")
+	}
+}
+
+func TestMulti(t *testing.T) {
+	var a, b Buffer
+	m := Multi(&a, nil, &b)
+	m.Emit(Event{Cycle: 1})
+	if len(a.Events) != 1 || len(b.Events) != 1 {
+		t.Fatal("multi did not fan out")
+	}
+	if Multi() != nil {
+		t.Error("empty Multi should be nil")
+	}
+	if Multi(nil, &a) != &a {
+		t.Error("single-sink Multi should unwrap")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 2, 3, 4, 1000} {
+		h.Observe(v)
+	}
+	if h.Count != 6 || h.Sum != 1010 || h.Min != 0 || h.Max != 1000 {
+		t.Fatalf("histogram stats = %+v", h)
+	}
+	s := h.Snapshot()
+	want := map[uint64]uint64{0: 1, 1: 1, 3: 2, 7: 1, 1023: 1}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v", s.Buckets)
+	}
+	for _, b := range s.Buckets {
+		if want[b.Le] != b.Count {
+			t.Errorf("bucket le=%d count=%d, want %d", b.Le, b.Count, want[b.Le])
+		}
+	}
+	if got := h.Mean(); got < 168 || got > 169 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestMetricsFromEventStream(t *testing.T) {
+	m := NewMetrics()
+	feed := []Event{
+		{Cycle: 0, CPU: 0, Kind: EpochStart, Epoch: 1},
+		{Cycle: 5, CPU: 0, Kind: LatchStall, Addr: 0x100},
+		{Cycle: 15, CPU: 0, Kind: LatchAcquired, Addr: 0x100, Ctx: 0},
+		{Cycle: 40, CPU: 0, Kind: LatchReleased, Addr: 0x100},
+		{Cycle: 50, CPU: 0, Kind: PrimaryViolation, Epoch: 1, Ctx: 1, Depth: 2, Instrs: 800},
+		{Cycle: 90, CPU: 0, Kind: PrimaryViolation, Epoch: 1, Ctx: 0, Depth: 3, Instrs: 2000},
+		{Cycle: 100, CPU: 0, Kind: EpochCommit, Epoch: 1, Instrs: 5000},
+	}
+	for _, ev := range feed {
+		m.Emit(ev)
+	}
+	if got := m.Count(PrimaryViolation); got != 2 {
+		t.Errorf("primary count = %d", got)
+	}
+	if m.LatchHold.Count != 1 || m.LatchHold.Sum != 25 {
+		t.Errorf("latch hold = %+v", m.LatchHold)
+	}
+	if m.LatchStallCycles.Count != 1 || m.LatchStallCycles.Sum != 10 {
+		t.Errorf("latch stall = %+v", m.LatchStallCycles)
+	}
+	if m.EpochLifetime.Count != 1 || m.EpochLifetime.Sum != 100 {
+		t.Errorf("epoch lifetime = %+v", m.EpochLifetime)
+	}
+	if m.InterViolationGap.Count != 1 || m.InterViolationGap.Sum != 40 {
+		t.Errorf("inter-violation gap = %+v", m.InterViolationGap)
+	}
+	if m.RewindDepth.Sum != 5 || m.RewindInstrs.Sum != 2800 {
+		t.Errorf("rewind histograms = %+v %+v", m.RewindDepth, m.RewindInstrs)
+	}
+	snap := m.Snapshot()
+	if snap.Events != uint64(len(feed)) {
+		t.Errorf("snapshot events = %d, want %d", snap.Events, len(feed))
+	}
+	var out bytes.Buffer
+	if err := m.WriteJSON(&out); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+		t.Fatalf("snapshot JSON invalid: %v", err)
+	}
+	if decoded.Counters["violation-primary"] != 2 {
+		t.Errorf("decoded counters = %+v", decoded.Counters)
+	}
+	if decoded.Histograms["latch_hold_cycles"].Sum != 25 {
+		t.Errorf("decoded latch hold = %+v", decoded.Histograms["latch_hold_cycles"])
+	}
+}
+
+// TestMetricsSquashClosesHolds checks that a violation finishes the rewound
+// contexts' latch holds and cancels a pending stall.
+func TestMetricsSquashClosesHolds(t *testing.T) {
+	m := NewMetrics()
+	m.Emit(Event{Cycle: 0, CPU: 2, Kind: LatchAcquired, Addr: 0x40, Ctx: 3})
+	m.Emit(Event{Cycle: 5, CPU: 2, Kind: LatchAcquired, Addr: 0x80, Ctx: 1})
+	m.Emit(Event{Cycle: 8, CPU: 2, Kind: LatchStall, Addr: 0xc0})
+	m.Emit(Event{Cycle: 10, CPU: 2, Kind: SecondaryViolation, Epoch: 7, Ctx: 2, Depth: 1})
+	// The ctx-3 hold (>= rewind target 2) closed at cycle 10; ctx-1 survives.
+	if m.LatchHold.Count != 1 || m.LatchHold.Sum != 10 {
+		t.Fatalf("latch hold after squash = %+v", m.LatchHold)
+	}
+	m.Emit(Event{Cycle: 20, CPU: 2, Kind: LatchReleased, Addr: 0x80})
+	if m.LatchHold.Count != 2 || m.LatchHold.Sum != 25 {
+		t.Fatalf("surviving hold = %+v", m.LatchHold)
+	}
+	// The stall was cancelled: a later acquire records no stall time.
+	m.Emit(Event{Cycle: 30, CPU: 2, Kind: LatchAcquired, Addr: 0xc0})
+	if m.LatchStallCycles.Count != 0 {
+		t.Fatalf("stall survived squash = %+v", m.LatchStallCycles)
+	}
+}
+
+func TestChromeTraceSyntheticStream(t *testing.T) {
+	events := []Event{
+		{Cycle: 0, CPU: 0, Kind: EpochStart, Epoch: 0},
+		{Cycle: 0, CPU: 0, Kind: HomefreeToken, Epoch: 0},
+		{Cycle: 10, CPU: 1, Kind: EpochStart, Epoch: 1},
+		{Cycle: 100, CPU: 1, Kind: SubthreadStart, Epoch: 1, Ctx: 1},
+		{Cycle: 150, CPU: 1, Kind: LatchStall, Epoch: 1, Addr: 0x200},
+		{Cycle: 180, CPU: 1, Kind: LatchAcquired, Epoch: 1, Ctx: 1, Addr: 0x200},
+		{Cycle: 200, CPU: 1, Kind: PrimaryViolation, Epoch: 1, Ctx: 1, Depth: 1,
+			Instrs: 900, LoadPC: 3, StorePC: 4, Addr: 0x80},
+		{Cycle: 260, CPU: 1, Kind: LatchReleased, Epoch: 1, Addr: 0x200},
+		{Cycle: 300, CPU: 0, Kind: EpochCommit, Epoch: 0, Instrs: 4000},
+		{Cycle: 300, CPU: 1, Kind: HomefreeToken, Epoch: 1},
+		{Cycle: 400, CPU: 1, Kind: EpochCommit, Epoch: 1, Instrs: 5000},
+	}
+	var out bytes.Buffer
+	err := WriteChromeTrace(&out, events, TraceOptions{SiteName: func(pc isa.PC) string {
+		return "site"
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	var haveEpoch, haveCtx, haveViolation, haveLatch, haveReplay bool
+	for _, ev := range doc.TraceEvents {
+		name, _ := ev["name"].(string)
+		ph, _ := ev["ph"].(string)
+		switch {
+		case ph == "X" && name == "epoch 1":
+			haveEpoch = true
+			if ev["dur"].(float64) != 390 {
+				t.Errorf("epoch 1 dur = %v", ev["dur"])
+			}
+		case ph == "X" && name == "ctx 0":
+			haveCtx = true
+		case ph == "X" && name == "ctx 1 (replay)":
+			haveReplay = true
+		case ph == "i" && name == "primary violation":
+			haveViolation = true
+		case ph == "X" && strings.HasPrefix(name, "latch 0x"):
+			haveLatch = true
+		}
+	}
+	if !haveEpoch || !haveCtx || !haveViolation || !haveLatch || !haveReplay {
+		t.Errorf("missing trace elements: epoch=%v ctx=%v violation=%v latch=%v replay=%v\n%s",
+			haveEpoch, haveCtx, haveViolation, haveLatch, haveReplay, out.String())
+	}
+}

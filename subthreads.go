@@ -26,11 +26,15 @@
 package subthreads
 
 import (
+	"io"
+
 	"subthreads/internal/db"
 	"subthreads/internal/isa"
 	"subthreads/internal/mem"
+	"subthreads/internal/report"
 	"subthreads/internal/sim"
 	"subthreads/internal/synth"
+	"subthreads/internal/telemetry"
 	"subthreads/internal/tpcc"
 	"subthreads/internal/trace"
 	"subthreads/internal/workload"
@@ -127,6 +131,51 @@ const (
 	Payment       = tpcc.Payment
 	OrderStatus   = tpcc.OrderStatus
 )
+
+// Telemetry types: cycle-stamped protocol-event tracing and metrics.
+// Attach an emitter via SimConfig.Telemetry; a nil emitter disables
+// instrumentation entirely.
+type (
+	// TelemetryEvent is one cycle-stamped protocol event.
+	TelemetryEvent = telemetry.Event
+	// TelemetryEmitter receives events during a run.
+	TelemetryEmitter = telemetry.Emitter
+	// TelemetryBuffer captures every event in memory.
+	TelemetryBuffer = telemetry.Buffer
+	// TelemetryRing keeps only the most recent events.
+	TelemetryRing = telemetry.Ring
+	// TelemetryMetrics aggregates events into counters and histograms.
+	TelemetryMetrics = telemetry.Metrics
+	// ChromeTraceOptions configures the Perfetto timeline exporter.
+	ChromeTraceOptions = telemetry.TraceOptions
+	// ResultJSON is the machine-readable form of a Result.
+	ResultJSON = report.ResultJSON
+)
+
+// NewTelemetryRing returns a ring sink holding the last n events.
+func NewTelemetryRing(n int) *TelemetryRing { return telemetry.NewRing(n) }
+
+// NewTelemetryMetrics returns an empty metrics aggregator.
+func NewTelemetryMetrics() *TelemetryMetrics { return telemetry.NewMetrics() }
+
+// TelemetryMulti fans events out to several sinks (nils are skipped).
+func TelemetryMulti(sinks ...TelemetryEmitter) TelemetryEmitter {
+	return telemetry.Multi(sinks...)
+}
+
+// WriteChromeTrace renders captured events as a Chrome trace-event timeline
+// loadable in ui.perfetto.dev.
+func WriteChromeTrace(w io.Writer, events []TelemetryEvent, opt ChromeTraceOptions) error {
+	return telemetry.WriteChromeTrace(w, events, opt)
+}
+
+// EncodeTelemetryJSONL writes events as one JSON object per line.
+func EncodeTelemetryJSONL(w io.Writer, events []TelemetryEvent) error {
+	return telemetry.EncodeJSONL(w, events)
+}
+
+// WriteResultJSON encodes a run's measurement as indented JSON.
+func WriteResultJSON(w io.Writer, r *Result) error { return report.WriteJSON(w, r) }
 
 // DefaultSpec returns a benchmark spec sized for minutes-long suites.
 func DefaultSpec(b Benchmark) Spec { return workload.DefaultSpec(b) }

@@ -1,0 +1,182 @@
+// Tests of the telemetry subsystem through the public API: determinism of
+// the event stream, zero perturbation of the simulated machine, and the
+// Chrome trace-event export the acceptance workflow depends on.
+package subthreads_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"subthreads"
+)
+
+// telemetrySpec is a short unoptimized run that is guaranteed to violate:
+// opt level 0 leaves every §3.2 dependence in place.
+func telemetrySpec() subthreads.Spec {
+	spec := subthreads.DefaultSpec(subthreads.NewOrder)
+	spec.Txns = 3
+	spec.Warmup = 1
+	spec.OptLevel = 0
+	return spec
+}
+
+// captureRun simulates the spec on the BASELINE machine with a buffer
+// emitter attached and returns the result plus the captured events.
+func captureRun(t *testing.T) (*subthreads.Result, []subthreads.TelemetryEvent) {
+	t.Helper()
+	buf := &subthreads.TelemetryBuffer{}
+	cfg := subthreads.Machine(subthreads.Baseline)
+	cfg.Telemetry = buf
+	res, _ := subthreads.RunConfig(telemetrySpec(), cfg)
+	return res, buf.Events
+}
+
+// TestTelemetryDeterminism: two runs with the same seed and configuration
+// must produce byte-identical event streams (ISSUE acceptance: seeded runs
+// are reproducible down to the cycle).
+func TestTelemetryDeterminism(t *testing.T) {
+	_, ev1 := captureRun(t)
+	_, ev2 := captureRun(t)
+
+	var b1, b2 bytes.Buffer
+	if err := subthreads.EncodeTelemetryJSONL(&b1, ev1); err != nil {
+		t.Fatal(err)
+	}
+	if err := subthreads.EncodeTelemetryJSONL(&b2, ev2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.Len() == 0 {
+		t.Fatal("no events captured")
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Errorf("event streams differ between identical runs (%d vs %d bytes)",
+			b1.Len(), b2.Len())
+	}
+}
+
+// TestTelemetryDoesNotPerturb: attaching an emitter must not change what the
+// machine simulates — cycle count and breakdown are observation-independent.
+func TestTelemetryDoesNotPerturb(t *testing.T) {
+	cfg := subthreads.Machine(subthreads.Baseline)
+	plain, _ := subthreads.RunConfig(telemetrySpec(), cfg)
+	observed, _ := captureRun(t)
+
+	if plain.Cycles != observed.Cycles {
+		t.Errorf("cycles changed under observation: %d vs %d", plain.Cycles, observed.Cycles)
+	}
+	if plain.Breakdown != observed.Breakdown {
+		t.Errorf("breakdown changed under observation:\n%v\n%v", plain.Breakdown, observed.Breakdown)
+	}
+	if plain.TLS != observed.TLS {
+		t.Errorf("TLS stats changed under observation:\n%+v\n%+v", plain.TLS, observed.TLS)
+	}
+}
+
+// TestTelemetryMatchesResult: the aggregated counters must agree with the
+// simulator's own statistics for the events both sides count.
+func TestTelemetryMatchesResult(t *testing.T) {
+	m := subthreads.NewTelemetryMetrics()
+	cfg := subthreads.Machine(subthreads.Baseline)
+	cfg.Telemetry = m
+	res, _ := subthreads.RunConfig(telemetrySpec(), cfg)
+
+	snap := m.Snapshot()
+	// Violation events are actual rewinds: the engine deduplicates squash
+	// targets per epoch (a deeper rewind subsumes a shallower one), so the
+	// event count is bounded by — but can trail — the raw detection
+	// counters in Stats.
+	detected := res.TLS.PrimaryViolations + res.TLS.SecondaryViolations
+	rewinds := snap.Counters["violation-primary"] + snap.Counters["violation-secondary"]
+	if rewinds == 0 || rewinds > detected {
+		t.Errorf("violation rewind events = %d, want in (0, %d] detections", rewinds, detected)
+	}
+	if got := snap.Counters["subthread-start"]; got != res.TLS.SubthreadStarts {
+		t.Errorf("sub-thread starts: telemetry %d, result %d", got, res.TLS.SubthreadStarts)
+	}
+	if got := snap.Counters["epoch-commit"]; got != res.TLS.Commits {
+		t.Errorf("commits: telemetry %d, result %d", got, res.TLS.Commits)
+	}
+	if res.TLS.PrimaryViolations > 0 {
+		h, ok := snap.Histograms["violation_rewind_instrs"]
+		if !ok || h.Count == 0 {
+			t.Error("rewind-instrs histogram empty despite violations")
+		}
+	}
+}
+
+// TestChromeTraceExport: the exported timeline must be valid Chrome
+// trace-event JSON with per-CPU epoch and sub-thread slices and at least one
+// violation instant on the unoptimized workload.
+func TestChromeTraceExport(t *testing.T) {
+	_, events := captureRun(t)
+
+	var buf bytes.Buffer
+	if err := subthreads.WriteChromeTrace(&buf, events, subthreads.ChromeTraceOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TID  int     `json:"tid"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+
+	var epochSlices, ctxSlices, violations int
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Ph == "X" && strings.HasPrefix(ev.Name, "epoch"):
+			epochSlices++
+		case ev.Ph == "X" && strings.HasPrefix(ev.Name, "ctx"):
+			ctxSlices++
+		case ev.Ph == "i" && strings.Contains(ev.Name, "violation"):
+			violations++
+		}
+	}
+	if epochSlices == 0 {
+		t.Error("no epoch slices in trace")
+	}
+	if ctxSlices == 0 {
+		t.Error("no sub-thread context slices in trace")
+	}
+	if violations == 0 {
+		t.Error("no violation instants in trace (opt level 0 should violate)")
+	}
+
+	// Determinism of the export itself.
+	var buf2 bytes.Buffer
+	if err := subthreads.WriteChromeTrace(&buf2, events, subthreads.ChromeTraceOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("trace export is not deterministic")
+	}
+}
+
+// TestTelemetryRingPublicAPI: the ring sink keeps only the tail of the run.
+func TestTelemetryRingPublicAPI(t *testing.T) {
+	ring := subthreads.NewTelemetryRing(16)
+	cfg := subthreads.Machine(subthreads.Baseline)
+	cfg.Telemetry = ring
+	subthreads.RunConfig(telemetrySpec(), cfg)
+
+	if ring.Len() != 16 {
+		t.Errorf("ring holds %d events, want 16", ring.Len())
+	}
+	if ring.Dropped == 0 {
+		t.Error("expected the run to overflow a 16-entry ring")
+	}
+	evs := ring.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Cycle < evs[i-1].Cycle {
+			t.Fatalf("ring events out of order at %d: %d < %d", i, evs[i].Cycle, evs[i-1].Cycle)
+		}
+	}
+}
