@@ -57,6 +57,28 @@ func BenchmarkTable2(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulate isolates the simulator hot path: the program is built
+// once through the shared build cache and every iteration is one pure
+// sim.Run over it — `go test -bench=BenchmarkSimulate -benchmem` is the
+// allocation guard for the de-allocated inner loop (allocs/op here is
+// allocations per run, excluding the build).
+func BenchmarkSimulate(b *testing.B) {
+	builder := subthreads.NewBuilder()
+	for _, e := range []subthreads.Experiment{subthreads.NoSubthread, subthreads.Baseline} {
+		b.Run(e.String(), func(b *testing.B) {
+			built := builder.Build(benchSpec(subthreads.NewOrder), false)
+			cfg := subthreads.Machine(e)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var res *subthreads.Result
+			for i := 0; i < b.N; i++ {
+				res = subthreads.Simulate(cfg, built.Program)
+			}
+			b.ReportMetric(float64(res.EpochCount), "epochs")
+		})
+	}
+}
+
 // BenchmarkFigure5 regenerates Figure 5: every benchmark crossed with the
 // five machine configurations; the speedup metric is the bar height inverse.
 func BenchmarkFigure5(b *testing.B) {

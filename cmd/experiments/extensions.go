@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"subthreads/internal/report"
 	"subthreads/internal/sim"
@@ -20,6 +21,24 @@ func runSweep(w io.Writer, o options) {
 	fmt.Fprintln(w, "cells: all-or-nothing cycles / sub-thread cycles (>1.00 means sub-threads win)")
 	sizes := []int{2000, 10000, 60000, 200000}
 	depCounts := []int{0, 2, 8, 24}
+	r := o.runner()
+	start := time.Now()
+	// Each cell is an independent pair of synthetic simulations; the cell
+	// renders to its final string right in the worker.
+	cells := parDo(r, len(sizes)*len(depCounts), func(i int) string {
+		size := sizes[i/len(depCounts)]
+		deps := depCounts[i%len(depCounts)]
+		if deps*40 > size {
+			return "-"
+		}
+		params := synth.Params{Threads: 16, ThreadSize: size, DepLoads: deps, Seed: o.seed}
+		aonCfg := sim.DefaultConfig()
+		aonCfg.SubthreadSpacing = 0
+		aonCfg.TLS.SubthreadsPerEpoch = 1
+		aon := sim.Run(aonCfg, synth.MustGenerate(params))
+		sub := sim.Run(sim.DefaultConfig(), synth.MustGenerate(params))
+		return fmt.Sprintf("%.2f", float64(aon.Cycles)/float64(sub.Cycles))
+	})
 	t := report.NewTable(append([]string{"thread size \\ dep loads"},
 		func() []string {
 			var hs []string
@@ -28,24 +47,13 @@ func runSweep(w io.Writer, o options) {
 			}
 			return hs
 		}()...)...)
-	for _, size := range sizes {
+	for si, size := range sizes {
 		row := []string{fmt.Sprintf("%d", size)}
-		for _, deps := range depCounts {
-			if deps*40 > size {
-				row = append(row, "-")
-				continue
-			}
-			params := synth.Params{Threads: 16, ThreadSize: size, DepLoads: deps, Seed: o.seed}
-			aonCfg := sim.DefaultConfig()
-			aonCfg.SubthreadSpacing = 0
-			aonCfg.TLS.SubthreadsPerEpoch = 1
-			aon := sim.Run(aonCfg, synth.MustGenerate(params))
-			sub := sim.Run(sim.DefaultConfig(), synth.MustGenerate(params))
-			row = append(row, fmt.Sprintf("%.2f", float64(aon.Cycles)/float64(sub.Cycles)))
-		}
+		row = append(row, cells[si*len(depCounts):(si+1)*len(depCounts)]...)
 		t.AddRow(row...)
 	}
 	fmt.Fprint(w, t.String())
+	progress("sweep", 2*len(cells), start, r)
 	fmt.Fprintln(w, "\nsmall threads: checkpoints are near-useless (rewinds are cheap anyway);")
 	fmt.Fprintln(w, "large dependent threads: sub-threads bound the rewind cost — the paper's thesis.")
 }
@@ -82,16 +90,28 @@ func runSpawn(w io.Writer, o options) {
 			return cfg
 		}},
 	}
-	for _, b := range o.benchmarks(tpcc.TLSProfitable()) {
-		seq, _ := workload.Run(o.spec(b), workload.Sequential)
+	r := o.runner()
+	start := time.Now()
+	benches := o.benchmarks(tpcc.TLSProfitable())
+	perB := 1 + len(policies)
+	flat := parDo(r, len(benches)*perB, func(i int) runOut {
+		b := benches[i/perB]
+		if k := i % perB; k > 0 {
+			return r.runConfig(o.spec(b), policies[k-1].cfg())
+		}
+		return r.run(o.spec(b), workload.Sequential)
+	})
+	for bi, b := range benches {
+		seq := flat[bi*perB].res
 		t := report.NewTable("Placement policy", "Speedup", "Sub-threads started", "Rewound instrs")
-		for _, p := range policies {
-			res, _ := workload.RunConfig(o.spec(b), p.cfg())
+		for pi, p := range policies {
+			res := flat[bi*perB+1+pi].res
 			t.AddRow(p.label, report.F(res.Speedup(seq), 2),
 				report.I(res.TLS.SubthreadStarts), report.I(res.RewoundInstrs))
 		}
 		fmt.Fprintf(w, "\n(%s)\n%s", b, t.String())
 	}
+	progress("spawn", len(flat), start, r)
 }
 
 // runL1Track reproduces the §2.2 negative result: extending the L1 caches to
@@ -99,13 +119,23 @@ func runSpawn(w io.Writer, o options) {
 // worthwhile".
 func runL1Track(w io.Writer, o options) {
 	header(w, "§2.2 ABLATION: L1 sub-thread tracking")
-	for _, b := range o.benchmarks([]tpcc.Benchmark{tpcc.NewOrder, tpcc.NewOrder150}) {
-		seq, _ := workload.Run(o.spec(b), workload.Sequential)
+	r := o.runner()
+	start := time.Now()
+	benches := o.benchmarks([]tpcc.Benchmark{tpcc.NewOrder, tpcc.NewOrder150})
+	flat := parDo(r, 3*len(benches), func(i int) runOut {
+		b := benches[i/3]
+		if i%3 == 0 {
+			return r.run(o.spec(b), workload.Sequential)
+		}
+		cfg := workload.Machine(workload.Baseline)
+		cfg.L1SubthreadTracking = i%3 == 2
+		return r.runConfig(o.spec(b), cfg)
+	})
+	for bi, b := range benches {
+		seq := flat[3*bi].res
 		t := report.NewTable("L1 tracking", "Speedup", "L1 invalidations", "L1 misses")
-		for _, on := range []bool{false, true} {
-			cfg := workload.Machine(workload.Baseline)
-			cfg.L1SubthreadTracking = on
-			res, _ := workload.RunConfig(o.spec(b), cfg)
+		for oi, on := range []bool{false, true} {
+			res := flat[3*bi+1+oi].res
 			label := "off (paper design)"
 			if on {
 				label = "on (per-sub-thread)"
@@ -115,6 +145,7 @@ func runL1Track(w io.Writer, o options) {
 		}
 		fmt.Fprintf(w, "\n(%s)\n%s", b, t.String())
 	}
+	progress("l1track", len(flat), start, r)
 }
 
 // runMLP quantifies the blocking-loads simplification of the core model: the
@@ -123,16 +154,27 @@ func runL1Track(w io.Writer, o options) {
 // comparison shows the relative results are insensitive to the choice.
 func runMLP(w io.Writer, o options) {
 	header(w, "CORE-MODEL ABLATION: blocking vs non-blocking loads")
-	for _, b := range o.benchmarks([]tpcc.Benchmark{tpcc.NewOrder, tpcc.StockLevel}) {
-		t := report.NewTable("Core model", "SEQUENTIAL Mcycles", "BASELINE speedup")
-		for _, mlp := range []bool{false, true} {
+	r := o.runner()
+	start := time.Now()
+	benches := o.benchmarks([]tpcc.Benchmark{tpcc.NewOrder, tpcc.StockLevel})
+	// Per benchmark: (blocking, non-blocking) x (SEQUENTIAL, BASELINE).
+	flat := parDo(r, 4*len(benches), func(i int) runOut {
+		b := benches[i/4]
+		mlp := i%4 >= 2
+		if i%2 == 0 {
 			seqCfg := workload.Machine(workload.Sequential)
 			seqCfg.NonBlockingLoads = mlp
-			seqBuilt := workload.Build(o.spec(b), true)
-			seq := sim.Run(seqCfg, seqBuilt.Program)
-			baseCfg := workload.Machine(workload.Baseline)
-			baseCfg.NonBlockingLoads = mlp
-			base, _ := workload.RunConfig(o.spec(b), baseCfg)
+			return r.runSeqConfig(o.spec(b), seqCfg)
+		}
+		baseCfg := workload.Machine(workload.Baseline)
+		baseCfg.NonBlockingLoads = mlp
+		return r.runConfig(o.spec(b), baseCfg)
+	})
+	for bi, b := range benches {
+		t := report.NewTable("Core model", "SEQUENTIAL Mcycles", "BASELINE speedup")
+		for mi, mlp := range []bool{false, true} {
+			seq := flat[4*bi+2*mi].res
+			base := flat[4*bi+2*mi+1].res
 			label := "blocking loads (default)"
 			if mlp {
 				label = "non-blocking (ROB run-ahead)"
@@ -141,6 +183,7 @@ func runMLP(w io.Writer, o options) {
 		}
 		fmt.Fprintf(w, "\n(%s)\n%s", b, t.String())
 	}
+	progress("mlp", len(flat), start, r)
 }
 
 // runICache quantifies the instruction-cache simplification: the paper's
@@ -150,16 +193,26 @@ func runMLP(w io.Writer, o options) {
 // effect on absolute time and on the relative results.
 func runICache(w io.Writer, o options) {
 	header(w, "CORE-MODEL ABLATION: instruction cache")
-	for _, b := range o.benchmarks([]tpcc.Benchmark{tpcc.NewOrder, tpcc.StockLevel}) {
-		t := report.NewTable("I-cache", "SEQUENTIAL Mcycles", "BASELINE speedup", "I-miss rate")
-		for _, on := range []bool{false, true} {
+	r := o.runner()
+	start := time.Now()
+	benches := o.benchmarks([]tpcc.Benchmark{tpcc.NewOrder, tpcc.StockLevel})
+	flat := parDo(r, 4*len(benches), func(i int) runOut {
+		b := benches[i/4]
+		on := i%4 >= 2
+		if i%2 == 0 {
 			seqCfg := workload.Machine(workload.Sequential)
 			seqCfg.Mem.ModelICache = on
-			seqBuilt := workload.Build(o.spec(b), true)
-			seq := sim.Run(seqCfg, seqBuilt.Program)
-			baseCfg := workload.Machine(workload.Baseline)
-			baseCfg.Mem.ModelICache = on
-			base, _ := workload.RunConfig(o.spec(b), baseCfg)
+			return r.runSeqConfig(o.spec(b), seqCfg)
+		}
+		baseCfg := workload.Machine(workload.Baseline)
+		baseCfg.Mem.ModelICache = on
+		return r.runConfig(o.spec(b), baseCfg)
+	})
+	for bi, b := range benches {
+		t := report.NewTable("I-cache", "SEQUENTIAL Mcycles", "BASELINE speedup", "I-miss rate")
+		for oi, on := range []bool{false, true} {
+			seq := flat[4*bi+2*oi].res
+			base := flat[4*bi+2*oi+1].res
 			label := "off (default)"
 			rate := "-"
 			if on {
@@ -173,6 +226,7 @@ func runICache(w io.Writer, o options) {
 		}
 		fmt.Fprintf(w, "\n(%s)\n%s", b, t.String())
 	}
+	progress("icache", len(flat), start, r)
 }
 
 // runCheckpointCost sweeps the register-backup cost of starting a
@@ -181,16 +235,30 @@ func runICache(w io.Writer, o options) {
 // the mechanism has.
 func runCheckpointCost(w io.Writer, o options) {
 	header(w, "§2.2 ABLATION: register-checkpoint (sub-thread start) cost")
-	for _, b := range o.benchmarks([]tpcc.Benchmark{tpcc.NewOrder150}) {
-		seq, _ := workload.Run(o.spec(b), workload.Sequential)
+	costs := []uint64{0, 10, 50, 200, 1000}
+	r := o.runner()
+	start := time.Now()
+	benches := o.benchmarks([]tpcc.Benchmark{tpcc.NewOrder150})
+	perB := 1 + len(costs)
+	flat := parDo(r, len(benches)*perB, func(i int) runOut {
+		b := benches[i/perB]
+		k := i % perB
+		if k == 0 {
+			return r.run(o.spec(b), workload.Sequential)
+		}
+		cfg := workload.Machine(workload.Baseline)
+		cfg.RegBackupPenalty = costs[k-1]
+		return r.runConfig(o.spec(b), cfg)
+	})
+	for bi, b := range benches {
+		seq := flat[bi*perB].res
 		t := report.NewTable("Backup cycles", "Speedup", "Sub-threads started")
-		for _, cost := range []uint64{0, 10, 50, 200, 1000} {
-			cfg := workload.Machine(workload.Baseline)
-			cfg.RegBackupPenalty = cost
-			res, _ := workload.RunConfig(o.spec(b), cfg)
+		for ci, cost := range costs {
+			res := flat[bi*perB+1+ci].res
 			t.AddRow(fmt.Sprintf("%d", cost), report.F(res.Speedup(seq), 2),
 				report.I(res.TLS.SubthreadStarts))
 		}
 		fmt.Fprintf(w, "\n(%s)\n%s", b, t.String())
 	}
+	progress("checkpoint-cost", len(flat), start, r)
 }

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"subthreads/internal/db"
@@ -41,6 +42,9 @@ type options struct {
 	seed   int64
 	paper  bool
 	bench  string
+	// par is the shared worker pool + build cache (-j); nil means serial
+	// with a private cache (see options.runner).
+	par *runner
 }
 
 func main() {
@@ -67,7 +71,18 @@ func main() {
 	flag.Int64Var(&opts.seed, "seed", 42, "input generation seed")
 	flag.BoolVar(&opts.paper, "paper", false, "use the full single-warehouse TPC-C scale")
 	flag.StringVar(&opts.bench, "benchmark", "", "restrict to one benchmark (e.g. \"NEW ORDER\")")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "simulations to run in parallel (output is identical for every -j)")
+	pipelineBench := flag.String("pipeline-bench", "", "measure suite runtime at -j 1 vs -j N and write a JSON report to this file")
 	flag.Parse()
+	opts.par = newRunner(*jobs)
+
+	if *pipelineBench != "" {
+		if err := runPipelineBench(*pipelineBench, opts); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	w := os.Stdout
 	ran := false
@@ -160,12 +175,23 @@ func printTable1(w io.Writer, _ options) {
 // transaction.
 func runTable2(w io.Writer, o options) {
 	header(w, "TABLE 2: benchmark statistics")
+	r := o.runner()
+	start := time.Now()
+	benches := o.benchmarks(tpcc.All())
+	// Two simulations per benchmark: SEQUENTIAL (even slots) and BASELINE
+	// (odd slots), fanned out together.
+	flat := parDo(r, 2*len(benches), func(i int) runOut {
+		b := benches[i/2]
+		if i%2 == 0 {
+			return r.run(o.spec(b), workload.Sequential)
+		}
+		return r.run(o.spec(b), workload.Baseline)
+	})
 	t := report.NewTable("Benchmark", "Exec.Time (Mcycles)", "Coverage",
 		"Avg Thread Size (dyn.instr)", "Spec.Insts per Thread", "Threads per Txn")
-	for _, b := range o.benchmarks(tpcc.All()) {
-		start := time.Now()
-		seqRes, _ := workload.Run(o.spec(b), workload.Sequential)
-		baseRes, built := workload.Run(o.spec(b), workload.Baseline)
+	for bi, b := range benches {
+		seqRes := flat[2*bi].res
+		baseRes, built := flat[2*bi+1].res, flat[2*bi+1].built
 		st := built.Stats
 		// Speculative instructions per thread, net of re-executed work
 		// (rewound instructions were all speculative).
@@ -184,9 +210,9 @@ func runTable2(w io.Writer, o options) {
 			report.K(specPerThread),
 			report.F(st.ThreadsPerTxn, 1),
 		)
-		fmt.Fprintf(os.Stderr, "table2: %s done in %v\n", b, time.Since(start).Round(time.Millisecond))
 	}
 	fmt.Fprint(w, t.String())
+	progress("table2", len(flat), start, r)
 }
 
 // figure5Experiments is the bar order of Figure 5.
@@ -203,12 +229,18 @@ var figure5Experiments = []workload.Experiment{
 func runFigure5(w io.Writer, o options) {
 	header(w, "FIGURE 5: overall performance of optimized benchmarks (4 CPUs)")
 	fmt.Fprintln(w, report.Legend())
-	for _, b := range o.benchmarks(tpcc.All()) {
-		start := time.Now()
+	r := o.runner()
+	start := time.Now()
+	benches := o.benchmarks(tpcc.All())
+	exps := figure5Experiments
+	flat := parDo(r, len(benches)*len(exps), func(i int) runOut {
+		return r.run(o.spec(benches[i/len(exps)]), exps[i%len(exps)])
+	})
+	for bi, b := range benches {
 		var rows []report.Row
 		var seq *sim.Result
-		for _, e := range figure5Experiments {
-			res, _ := workload.Run(o.spec(b), e)
+		for ei, e := range exps {
+			res := flat[bi*len(exps)+ei].res
 			if e == workload.Sequential {
 				seq = res
 			}
@@ -217,8 +249,8 @@ func runFigure5(w io.Writer, o options) {
 		fmt.Fprintf(w, "\n(%s)\n", b)
 		fmt.Fprint(w, report.BreakdownBars(rows, seq.Cycles, 4, 60))
 		fmt.Fprint(w, report.SpeedupTable(rows, seq))
-		fmt.Fprintf(os.Stderr, "figure5: %s done in %v\n", b, time.Since(start).Round(time.Millisecond))
 	}
+	progress("figure5", len(flat), start, r)
 }
 
 // runFigure6 regenerates Figure 6: the number of sub-thread contexts (2, 4,
@@ -228,9 +260,26 @@ func runFigure6(w io.Writer, o options) {
 	header(w, "FIGURE 6: varying sub-thread count and size")
 	counts := []int{2, 4, 8}
 	sizes := []uint64{1000, 2500, 5000, 10000, 50000}
-	for _, b := range o.benchmarks(tpcc.TLSProfitable()) {
-		start := time.Now()
-		seq, _ := workload.Run(o.spec(b), workload.Sequential)
+	r := o.runner()
+	start := time.Now()
+	benches := o.benchmarks(tpcc.TLSProfitable())
+	// Per benchmark: slot 0 is SEQUENTIAL, then counts x sizes in row-major
+	// order. All 16 cells share ONE build through the cache.
+	perB := 1 + len(counts)*len(sizes)
+	flat := parDo(r, len(benches)*perB, func(i int) runOut {
+		b := benches[i/perB]
+		k := i % perB
+		if k == 0 {
+			return r.run(o.spec(b), workload.Sequential)
+		}
+		k--
+		cfg := workload.Machine(workload.Baseline)
+		cfg.TLS.SubthreadsPerEpoch = counts[k/len(sizes)]
+		cfg.SubthreadSpacing = sizes[k%len(sizes)]
+		return r.runConfig(o.spec(b), cfg)
+	})
+	for bi, b := range benches {
+		seq := flat[bi*perB].res
 		fmt.Fprintf(w, "\n(%s)  speedup over SEQUENTIAL; * marks the BASELINE configuration\n", b)
 		t := report.NewTable(append([]string{"sub-threads \\ size"},
 			func() []string {
@@ -240,13 +289,10 @@ func runFigure6(w io.Writer, o options) {
 				}
 				return hs
 			}()...)...)
-		for _, n := range counts {
+		for ni, n := range counts {
 			row := []string{fmt.Sprintf("%d", n)}
-			for _, size := range sizes {
-				cfg := workload.Machine(workload.Baseline)
-				cfg.TLS.SubthreadsPerEpoch = n
-				cfg.SubthreadSpacing = size
-				res, _ := workload.RunConfig(o.spec(b), cfg)
+			for si, size := range sizes {
+				res := flat[bi*perB+1+ni*len(sizes)+si].res
 				cell := fmt.Sprintf("%.2f", res.Speedup(seq))
 				if n == 8 && size == 5000 {
 					cell += "*"
@@ -256,8 +302,8 @@ func runFigure6(w io.Writer, o options) {
 			t.AddRow(row...)
 		}
 		fmt.Fprint(w, t.String())
-		fmt.Fprintf(os.Stderr, "figure6: %s done in %v\n", b, time.Since(start).Round(time.Millisecond))
 	}
+	progress("figure6", len(flat), start, r)
 }
 
 // runFigure4 demonstrates the sub-thread start table (Figure 4): with it,
@@ -265,12 +311,24 @@ func runFigure6(w io.Writer, o options) {
 // epochs fully restart.
 func runFigure4(w io.Writer, o options) {
 	header(w, "FIGURE 4: selective secondary violations via the start table")
-	for _, b := range o.benchmarks([]tpcc.Benchmark{tpcc.NewOrder, tpcc.NewOrder150}) {
-		seq, _ := workload.Run(o.spec(b), workload.Sequential)
-		with, _ := workload.Run(o.spec(b), workload.Baseline)
-		cfg := workload.Machine(workload.Baseline)
-		cfg.TLS.StartTable = false
-		without, _ := workload.RunConfig(o.spec(b), cfg)
+	r := o.runner()
+	start := time.Now()
+	benches := o.benchmarks([]tpcc.Benchmark{tpcc.NewOrder, tpcc.NewOrder150})
+	flat := parDo(r, 3*len(benches), func(i int) runOut {
+		b := benches[i/3]
+		switch i % 3 {
+		case 0:
+			return r.run(o.spec(b), workload.Sequential)
+		case 1:
+			return r.run(o.spec(b), workload.Baseline)
+		default:
+			cfg := workload.Machine(workload.Baseline)
+			cfg.TLS.StartTable = false
+			return r.runConfig(o.spec(b), cfg)
+		}
+	})
+	for bi, b := range benches {
+		seq, with, without := flat[3*bi].res, flat[3*bi+1].res, flat[3*bi+2].res
 		t := report.NewTable("Configuration", "Speedup", "Rewound instrs", "Secondary violations")
 		t.AddRow("start table ON (Fig 4b)", report.F(with.Speedup(seq), 2),
 			report.I(with.RewoundInstrs), report.I(with.TLS.SecondaryViolations))
@@ -278,6 +336,7 @@ func runFigure4(w io.Writer, o options) {
 			report.I(without.RewoundInstrs), report.I(without.TLS.SecondaryViolations))
 		fmt.Fprintf(w, "\n(%s)\n%s", b, t.String())
 	}
+	progress("figure4", len(flat), start, r)
 }
 
 // runTuning walks the §3 iterative parallelization process on NEW ORDER:
@@ -286,8 +345,24 @@ func runFigure4(w io.Writer, o options) {
 // narrative.
 func runTuning(w io.Writer, o options) {
 	header(w, "§3 TUNING: iterative dependence removal on NEW ORDER")
+	r := o.runner()
+	start := time.Now()
 	spec := o.spec(tpcc.NewOrder)
-	seq, _ := workload.Run(spec, workload.Sequential)
+	// Slot 0: SEQUENTIAL. Then per optimization level: BASELINE machine
+	// (even offset) and NO SUB-THREAD machine (odd offset) on that level's
+	// binary — the two share one build per level.
+	flat := parDo(r, 1+2*db.NumOptLevels, func(i int) runOut {
+		if i == 0 {
+			return r.run(spec, workload.Sequential)
+		}
+		s := spec
+		s.OptLevel = (i - 1) / 2
+		if (i-1)%2 == 0 {
+			return r.runConfig(s, workload.Machine(workload.Baseline))
+		}
+		return r.runConfig(s, workload.Machine(workload.NoSubthread))
+	})
+	seq := flat[0].res
 	levels := []string{
 		"0: unoptimized",
 		"1: +lazy latches",
@@ -299,10 +374,8 @@ func runTuning(w io.Writer, o options) {
 	t := report.NewTable("Optimization level", "Speedup (8 sub-threads)", "Speedup (no sub-threads)",
 		"Violations", "Latch stall%")
 	for lvl := 0; lvl < db.NumOptLevels; lvl++ {
-		s := spec
-		s.OptLevel = lvl
-		base, built := workload.RunConfig(s, workload.Machine(workload.Baseline))
-		noSub, _ := workload.RunConfig(s, workload.Machine(workload.NoSubthread))
+		base, built := flat[1+2*lvl].res, flat[1+2*lvl].built
+		noSub := flat[2+2*lvl].res
 		syncPct := 100 * float64(base.Breakdown[sim.Sync]) / float64(base.Breakdown.Total())
 		t.AddRow(levels[lvl],
 			report.F(base.Speedup(seq), 2),
@@ -313,9 +386,9 @@ func runTuning(w io.Writer, o options) {
 			fmt.Fprintf(w, "\nprofile after level %d (top harmful dependences, §3.1):\n%s",
 				lvl, base.Pairs.Report(built.PCs, 5))
 		}
-		fmt.Fprintf(os.Stderr, "tuning: level %d done\n", lvl)
 	}
 	fmt.Fprintf(w, "\n%s", t.String())
+	progress("tuning", len(flat), start, r)
 }
 
 // runPredictor compares sub-threads against a Moshovos-style dependence
@@ -324,11 +397,19 @@ func runTuning(w io.Writer, o options) {
 // dynamic instances of a load PC are truly dependent.
 func runPredictor(w io.Writer, o options) {
 	header(w, "§2.2 ABLATION: dependence predictor vs sub-threads")
-	for _, b := range o.benchmarks([]tpcc.Benchmark{tpcc.NewOrder, tpcc.NewOrder150}) {
-		seq, _ := workload.Run(o.spec(b), workload.Sequential)
-		noSub, _ := workload.Run(o.spec(b), workload.NoSubthread)
-		pred, _ := workload.Run(o.spec(b), workload.PredictorSync)
-		base, _ := workload.Run(o.spec(b), workload.Baseline)
+	r := o.runner()
+	start := time.Now()
+	benches := o.benchmarks([]tpcc.Benchmark{tpcc.NewOrder, tpcc.NewOrder150})
+	exps := []workload.Experiment{workload.Sequential, workload.NoSubthread,
+		workload.PredictorSync, workload.Baseline}
+	flat := parDo(r, len(benches)*len(exps), func(i int) runOut {
+		return r.run(o.spec(benches[i/len(exps)]), exps[i%len(exps)])
+	})
+	for bi, b := range benches {
+		seq := flat[bi*len(exps)].res
+		noSub := flat[bi*len(exps)+1].res
+		pred := flat[bi*len(exps)+2].res
+		base := flat[bi*len(exps)+3].res
 		t := report.NewTable("Configuration", "Speedup", "Violations", "Sync stalls", "Failed%")
 		row := func(label string, r *sim.Result) {
 			failPct := 100 * float64(r.Breakdown[sim.Failed]) / float64(r.Breakdown.Total())
@@ -341,6 +422,7 @@ func runPredictor(w io.Writer, o options) {
 		row("8 sub-threads (BASELINE)", base)
 		fmt.Fprintf(w, "\n(%s)\n%s", b, t.String())
 	}
+	progress("predictor", len(flat), start, r)
 }
 
 // runVictim sweeps the speculative victim cache size (§2.1): the paper chose
@@ -349,20 +431,36 @@ func runPredictor(w io.Writer, o options) {
 func runVictim(w io.Writer, o options) {
 	header(w, "§2.1 ABLATION: speculative victim cache size")
 	sizes := []int{0, 4, 16, 64, 256}
-	for _, b := range o.benchmarks([]tpcc.Benchmark{tpcc.DeliveryOuter, tpcc.NewOrder150}) {
-		seq, _ := workload.Run(o.spec(b), workload.Sequential)
+	r := o.runner()
+	start := time.Now()
+	benches := o.benchmarks([]tpcc.Benchmark{tpcc.DeliveryOuter, tpcc.NewOrder150})
+	// Per benchmark: SEQUENTIAL, then per size a (stall policy, squash
+	// policy) pair. All 2x5 machines replay one cached TLS build.
+	perB := 1 + 2*len(sizes)
+	flat := parDo(r, len(benches)*perB, func(i int) runOut {
+		b := benches[i/perB]
+		k := i % perB
+		if k == 0 {
+			return r.run(o.spec(b), workload.Sequential)
+		}
+		k--
+		cfg := workload.Machine(workload.Baseline)
+		cfg.TLS.VictimEntries = sizes[k/2]
+		if k%2 == 1 {
+			cfg.TLS.OverflowPolicy = tls.OverflowSquash
+		}
+		return r.runConfig(o.spec(b), cfg)
+	})
+	for bi, b := range benches {
+		seq := flat[bi*perB].res
 		t := report.NewTable("Victim entries", "Speedup", "Overflow stalls", "Squashes (squash policy)")
-		for _, size := range sizes {
-			cfg := workload.Machine(workload.Baseline)
-			cfg.TLS.VictimEntries = size
-			res, _ := workload.RunConfig(o.spec(b), cfg)
-			cfgSq := cfg
-			cfgSq.TLS.OverflowPolicy = tls.OverflowSquash
-			resSq, _ := workload.RunConfig(o.spec(b), cfgSq)
+		for si, size := range sizes {
+			res := flat[bi*perB+1+2*si].res
+			resSq := flat[bi*perB+2+2*si].res
 			t.AddRow(fmt.Sprintf("%d", size), report.F(res.Speedup(seq), 2),
 				report.I(res.TLS.OverflowStalls), report.I(resSq.TLS.OverflowSquashes))
 		}
 		fmt.Fprintf(w, "\n(%s)\n%s", b, t.String())
-		fmt.Fprintf(os.Stderr, "victim: %s done\n", b)
 	}
+	progress("victim", len(flat), start, r)
 }

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"subthreads/internal/sim"
+	"subthreads/internal/tpcc"
+	"subthreads/internal/workload"
+)
+
+// pipelineBench is the schema of the BENCH_pipeline.json artifact: the
+// experiment pipeline's wall-clock at -j 1 vs -j N (same machine, same
+// inputs), the build cache's effectiveness, and the simulator's allocation
+// rate. Regenerate with scripts/regen-pipeline-bench.sh.
+type pipelineBench struct {
+	Host struct {
+		GoVersion string `json:"go_version"`
+		OS        string `json:"os"`
+		Arch      string `json:"arch"`
+		CPUs      int    `json:"cpus"`
+	} `json:"host"`
+	Workload struct {
+		Txns   int    `json:"txns"`
+		Warmup int    `json:"warmup"`
+		Seed   int64  `json:"seed"`
+		Suite  string `json:"suite"`
+	} `json:"workload"`
+	Suite struct {
+		J1Seconds       float64 `json:"j1_seconds"`
+		JN              int     `json:"jn"`
+		JNSeconds       float64 `json:"jn_seconds"`
+		Speedup         float64 `json:"speedup"`
+		IdenticalOutput bool    `json:"identical_output"`
+		Simulations     int     `json:"simulations"`
+		BuildsJ1        int     `json:"builds_j1"`
+		BuildsJN        int     `json:"builds_jn"`
+	} `json:"suite"`
+	Sim struct {
+		Bench          string  `json:"bench"`
+		Epochs         int     `json:"epochs"`
+		AllocsPerEpoch float64 `json:"allocs_per_epoch"`
+		BytesPerEpoch  float64 `json:"bytes_per_epoch"`
+	} `json:"sim"`
+}
+
+// pipelineSuite runs the benchmark suite (the two figure generators whose
+// sweeps dominate -all) on a fresh runner with the given worker count.
+func pipelineSuite(o options, jobs int) (out string, sims, builds int, elapsed time.Duration) {
+	r := newRunner(jobs)
+	o.par = r
+	var buf bytes.Buffer
+	start := time.Now()
+	runFigure5(&buf, o)
+	runFigure6(&buf, o)
+	elapsed = time.Since(start)
+	benches := len(o.benchmarks(tpcc.All()))
+	profitable := len(o.benchmarks(tpcc.TLSProfitable()))
+	sims = benches*len(figure5Experiments) + profitable*16
+	return buf.String(), sims, r.builder.Builds(), elapsed
+}
+
+// runPipelineBench measures the pipeline and writes the JSON artifact.
+func runPipelineBench(path string, o options) error {
+	jn := o.par.jobs
+	var b pipelineBench
+	b.Host.GoVersion = runtime.Version()
+	b.Host.OS = runtime.GOOS
+	b.Host.Arch = runtime.GOARCH
+	b.Host.CPUs = runtime.NumCPU()
+	b.Workload.Txns = o.txns
+	b.Workload.Warmup = o.warmup
+	b.Workload.Seed = o.seed
+	b.Workload.Suite = "figure5+figure6"
+
+	fmt.Fprintf(os.Stderr, "pipeline-bench: suite at -j 1...\n")
+	out1, sims, builds1, t1 := pipelineSuite(o, 1)
+	fmt.Fprintf(os.Stderr, "pipeline-bench: suite at -j %d...\n", jn)
+	outN, _, buildsN, tN := pipelineSuite(o, jn)
+
+	b.Suite.J1Seconds = t1.Seconds()
+	b.Suite.JN = jn
+	b.Suite.JNSeconds = tN.Seconds()
+	if tN > 0 {
+		b.Suite.Speedup = t1.Seconds() / tN.Seconds()
+	}
+	b.Suite.IdenticalOutput = out1 == outN
+	b.Suite.Simulations = sims
+	b.Suite.BuildsJ1 = builds1
+	b.Suite.BuildsJN = buildsN
+
+	// Steady-state simulator allocation rate: one warm run of the BASELINE
+	// machine over a cached build (build allocations excluded).
+	spec := o.spec(tpcc.NewOrder)
+	built := workload.Build(spec, false)
+	cfg := workload.Machine(workload.Baseline)
+	sim.Run(cfg, built.Program) // warm the page/metadata pools
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	res := sim.Run(cfg, built.Program)
+	runtime.ReadMemStats(&after)
+	b.Sim.Bench = tpcc.NewOrder.String()
+	b.Sim.Epochs = res.EpochCount
+	if res.EpochCount > 0 {
+		b.Sim.AllocsPerEpoch = float64(after.Mallocs-before.Mallocs) / float64(res.EpochCount)
+		b.Sim.BytesPerEpoch = float64(after.TotalAlloc-before.TotalAlloc) / float64(res.EpochCount)
+	}
+
+	enc, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"pipeline-bench: j=1 %.1fs, j=%d %.1fs (%.2fx), identical=%v, builds %d/%d, %.0f allocs/epoch -> %s\n",
+		b.Suite.J1Seconds, jn, b.Suite.JNSeconds, b.Suite.Speedup,
+		b.Suite.IdenticalOutput, builds1, buildsN, b.Sim.AllocsPerEpoch, path)
+	if !b.Suite.IdenticalOutput {
+		return fmt.Errorf("pipeline-bench: -j 1 and -j %d outputs differ", jn)
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"subthreads/internal/sim"
+	"subthreads/internal/workload"
+)
+
+// progress emits one per-experiment timing line to stderr (never to the
+// report writer, which must stay byte-identical across -j values).
+func progress(name string, sims int, start time.Time, r *runner) {
+	fmt.Fprintf(os.Stderr, "%s: %d simulations in %v (j=%d)\n",
+		name, sims, time.Since(start).Round(time.Millisecond), r.jobs)
+}
+
+// runner fans independent simulations across a bounded worker pool (-j).
+// Every build goes through one shared workload.Builder, so a suite that
+// replays the same binary against many machines — figure6, victim, spawn —
+// performs exactly one database load + trace recording per distinct spec,
+// and concurrent workers share it safely (Built is read-only under sim.Run).
+type runner struct {
+	jobs    int
+	builder *workload.Builder
+}
+
+func newRunner(jobs int) *runner {
+	if jobs < 1 {
+		jobs = 1
+	}
+	return &runner{jobs: jobs, builder: workload.NewBuilder()}
+}
+
+// runner returns the options' shared runner, or a serial one for callers
+// (tests) that construct options directly.
+func (o options) runner() *runner {
+	if o.par != nil {
+		return o.par
+	}
+	return newRunner(1)
+}
+
+// parDo evaluates fn(0) .. fn(n-1) on up to r.jobs workers and returns the
+// results in index order. Determinism contract: each fn(i) must depend only
+// on i — never on shared mutable state — so the result slice, and therefore
+// everything rendered from it, is identical for every -j. fn runs on other
+// goroutines; with -j 1 everything stays on the caller's.
+func parDo[T any](r *runner, n int, fn func(int) T) []T {
+	out := make([]T, n)
+	workers := r.jobs
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for range workers {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// runOut is one simulation plus the (cached) build it ran.
+type runOut struct {
+	res   *sim.Result
+	built *workload.Built
+}
+
+// run simulates a Figure 5 experiment through the build cache.
+func (r *runner) run(spec workload.Spec, e workload.Experiment) runOut {
+	res, built := r.builder.Run(spec, e)
+	return runOut{res, built}
+}
+
+// runConfig simulates the TLS binary on a custom machine through the cache.
+func (r *runner) runConfig(spec workload.Spec, cfg sim.Config) runOut {
+	res, built := r.builder.RunConfig(spec, cfg)
+	return runOut{res, built}
+}
+
+// runSeqConfig simulates the SEQUENTIAL binary on a custom machine (the
+// core-model ablations vary the machine under both software modes).
+func (r *runner) runSeqConfig(spec workload.Spec, cfg sim.Config) runOut {
+	built := r.builder.Build(spec, true)
+	return runOut{sim.Run(cfg, built.Program), built}
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParDoOrderAndCoverage(t *testing.T) {
+	for _, jobs := range []int{1, 2, 8, 100} {
+		r := newRunner(jobs)
+		for _, n := range []int{0, 1, 7, 64} {
+			var calls atomic.Int64
+			out := parDo(r, n, func(i int) int {
+				calls.Add(1)
+				return i * i
+			})
+			if len(out) != n || int(calls.Load()) != n {
+				t.Fatalf("j=%d n=%d: len=%d calls=%d", jobs, n, len(out), calls.Load())
+			}
+			for i, v := range out {
+				if v != i*i {
+					t.Fatalf("j=%d n=%d: out[%d] = %d", jobs, n, i, v)
+				}
+			}
+		}
+	}
+}
+
+// experimentFns lists every experiment generator, each of which must produce
+// byte-identical output regardless of -j.
+var experimentFns = []struct {
+	name string
+	fn   func(io.Writer, options)
+}{
+	{"table2", runTable2},
+	{"figure5", runFigure5},
+	{"figure6", runFigure6},
+	{"figure4", runFigure4},
+	{"tuning", runTuning},
+	{"predictor", runPredictor},
+	{"victim", runVictim},
+	{"sweep", runSweep},
+	{"spawn", runSpawn},
+	{"l1track", runL1Track},
+	{"checkpoint-cost", runCheckpointCost},
+	{"mlp", runMLP},
+	{"icache", runICache},
+}
+
+// TestOutputDeterministicAcrossJ is the parallel runner's core contract:
+// every figure and table renders byte-identically at -j 1 and -j 8.
+func TestOutputDeterministicAcrossJ(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment twice")
+	}
+	for _, e := range experimentFns {
+		t.Run(e.name, func(t *testing.T) {
+			render := func(jobs int) string {
+				o := tinyOptions()
+				o.par = newRunner(jobs)
+				var b strings.Builder
+				e.fn(&b, o)
+				return b.String()
+			}
+			serial := render(1)
+			parallel := render(8)
+			if serial != parallel {
+				t.Errorf("-j 1 and -j 8 outputs differ:\n--- j=1 ---\n%s\n--- j=8 ---\n%s",
+					serial, parallel)
+			}
+			if len(serial) == 0 {
+				t.Error("experiment produced no output")
+			}
+		})
+	}
+}
+
+// TestSweepsBuildOncePerSpec: the repeated-binary sweeps replay one binary
+// against many machines, so the shared cache must perform exactly one build
+// per distinct (spec, software-mode) — here one benchmark, two modes.
+func TestSweepsBuildOncePerSpec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three sweep experiments")
+	}
+	for _, e := range experimentFns {
+		switch e.name {
+		case "figure6", "victim", "spawn":
+		default:
+			continue
+		}
+		t.Run(e.name, func(t *testing.T) {
+			o := tinyOptions()
+			o.par = newRunner(4)
+			e.fn(io.Discard, o)
+			if n := o.par.builder.Builds(); n != 2 {
+				t.Errorf("%s performed %d builds, want 2 (sequential + TLS)", e.name, n)
+			}
+		})
+	}
+}
+
+// TestRunnerDefaultsSerial: options constructed without a pool (tests, zero
+// value) fall back to a serial runner with a private cache.
+func TestRunnerDefaultsSerial(t *testing.T) {
+	var o options
+	r := o.runner()
+	if r.jobs != 1 || r.builder == nil {
+		t.Fatalf("default runner = %+v", r)
+	}
+	if got := fmt.Sprint(parDo(r, 3, func(i int) int { return i })); got != "[0 1 2]" {
+		t.Fatalf("serial parDo = %s", got)
+	}
+}

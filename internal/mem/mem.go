@@ -25,6 +25,11 @@ const (
 // Line returns the line-aligned base address containing a.
 func (a Addr) Line() Addr { return a &^ (LineSize - 1) }
 
+// LineIndex returns the dense index of a's line in the address space —
+// the index direct-mapped hardware tables (and their software models) use
+// instead of hashing the address.
+func (a Addr) LineIndex() uint32 { return uint32(a) / LineSize }
+
 // Word returns the word-aligned address containing a.
 func (a Addr) Word() Addr { return a &^ (WordSize - 1) }
 

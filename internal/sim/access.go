@@ -29,7 +29,7 @@ func (m *machine) load(c *core, ev trace.Event) (lat uint64, selfSquashed bool) 
 		if !m.engine.Speculative(c.epoch) {
 			return m.cfg.Mem.L1HitLat, false
 		}
-		if _, flagged := c.l1Flags[line]; flagged {
+		if c.l1Flags.contains(line) {
 			return m.cfg.Mem.L1HitLat, false
 		}
 	}
@@ -48,7 +48,7 @@ func (m *machine) load(c *core, ev trace.Event) (lat uint64, selfSquashed bool) 
 		c.l1.Insert(cache.Entry{Line: line, Ver: 0}, nil)
 	}
 	if m.engine.Speculative(c.epoch) {
-		c.l1Flags[line] = struct{}{}
+		c.l1Flags.add(line)
 	}
 	if res.Exposed {
 		c.elt.Record(ev.Addr, ev.PC)
@@ -78,9 +78,7 @@ func (m *machine) store(c *core, ev trace.Event) (selfSquashed bool) {
 		m.res.L1Hits++
 	}
 	if m.engine.Speculative(c.epoch) {
-		if prev, ok := c.l1Mod[line]; !ok || c.epoch.CurCtx < prev {
-			c.l1Mod[line] = c.epoch.CurCtx
-		}
+		c.l1Mod.noteWrite(line, c.epoch.CurCtx)
 	}
 	if res.Stall {
 		m.res.OverflowWaits++
@@ -109,7 +107,7 @@ func (m *machine) applySquashes(sqs []tls.Squash) {
 // was among the squashed, so the caller can stop its issue loop.
 func (m *machine) applySquashesFrom(caller *core, sqs []tls.Squash) (selfSquashed bool) {
 	for _, sq := range sqs {
-		c := m.epochByPtr[sq.Epoch]
+		c := m.coreOf(sq.Epoch)
 		if c == nil {
 			panic("sim: squash for unknown epoch")
 		}
@@ -189,20 +187,23 @@ func (m *machine) applySquashesFrom(caller *core, sqs []tls.Squash) (selfSquashe
 		// the violated CPU's L1 and clears its notify flags. Without
 		// L1 sub-thread tracking, ALL modified lines go (§2.2: "the L1
 		// caches are unaware of sub-threads"); with it, only the
-		// rewound contexts' lines do.
-		for line, ctx := range c.l1Mod {
-			if m.cfg.L1SubthreadTracking && ctx < sq.Ctx {
+		// rewound contexts' lines do (re-inserted after the O(1) clear,
+		// since surviving entries must outlive the generation bump).
+		c.modKeep = c.modKeep[:0]
+		for _, en := range c.l1Mod.all() {
+			if m.cfg.L1SubthreadTracking && int(en.ctx) < sq.Ctx {
+				c.modKeep = append(c.modKeep, en)
 				continue
 			}
-			if c.l1.Remove(cache.Entry{Line: line, Ver: 0}) {
+			if c.l1.Remove(cache.Entry{Line: en.line, Ver: 0}) {
 				m.res.L1Invalidations++
 			}
-			delete(c.l1Mod, line)
 		}
-		if !m.cfg.L1SubthreadTracking {
-			clear(c.l1Mod)
+		c.l1Mod.clear()
+		for _, en := range c.modKeep {
+			c.l1Mod.noteWrite(en.line, int(en.ctx))
 		}
-		clear(c.l1Flags)
+		c.l1Flags.clear()
 		c.elt.Reset()
 
 		// Recovery penalty.

@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"sync"
+
+	"subthreads/internal/mem"
+)
+
+// Per-core speculative-line bookkeeping (the L1 notify flags and the
+// speculatively-modified-line list) sits on the path of every speculative
+// load and store. Like the hardware it models — per-line flag bits in the L1
+// tag array — it uses direct addressing by line index, not hashing: a paged
+// two-level array over the 32-bit simulated address space, with generation
+// stamps so that the per-epoch clear is one counter increment instead of a
+// table walk or a reallocation.
+const (
+	corePageShift = 12 // lines per page (4096 lines = 128KB of address space)
+	corePageSize  = 1 << corePageShift
+	corePageMask  = corePageSize - 1
+)
+
+// Pages are recycled across machines (runs) through sync.Pools: a finished
+// run releases its pages, and the next machine — possibly on another
+// goroutine of the parallel experiment runner — reuses them. Pages are
+// zeroed on get, so generation stamps can never alias across machines.
+var (
+	pagePool32 = sync.Pool{New: func() any { return make([]uint32, corePageSize) }}
+	pagePool64 = sync.Pool{New: func() any { return make([]uint64, corePageSize) }}
+)
+
+func getPage32() []uint32 {
+	pg := pagePool32.Get().([]uint32)
+	clear(pg)
+	return pg
+}
+
+func getPage64() []uint64 {
+	pg := pagePool64.Get().([]uint64)
+	clear(pg)
+	return pg
+}
+
+// growPages extends a page directory to cover index p, growing geometrically
+// so that workloads touching ever-higher regions don't recopy the directory
+// on every new page.
+func growPages[P any](pages []P, p uint32) []P {
+	n := uint32(len(pages)) * 2
+	if n <= p {
+		n = p + 1
+	}
+	grown := make([]P, n)
+	copy(grown, pages)
+	return grown
+}
+
+// lineSet is a set of cache lines with O(1) clear: membership means "stamp
+// equals the current generation".
+type lineSet struct {
+	pages [][]uint32
+	gen   uint32
+}
+
+func newLineSet() *lineSet { return &lineSet{gen: 1} }
+
+// slot returns the stamp cell for line, materializing its page when alloc is
+// set; nil when the page does not exist and alloc is false.
+func (s *lineSet) slot(line mem.Addr, alloc bool) *uint32 {
+	idx := line.LineIndex()
+	p := idx >> corePageShift
+	if p >= uint32(len(s.pages)) {
+		if !alloc {
+			return nil
+		}
+		s.pages = growPages(s.pages, p)
+	}
+	if s.pages[p] == nil {
+		if !alloc {
+			return nil
+		}
+		s.pages[p] = getPage32()
+	}
+	return &s.pages[p][idx&corePageMask]
+}
+
+// release hands every page back to the pool; the set must not be used after.
+func (s *lineSet) release() {
+	for i, pg := range s.pages {
+		if pg != nil {
+			pagePool32.Put(pg)
+			s.pages[i] = nil
+		}
+	}
+}
+
+func (s *lineSet) contains(line mem.Addr) bool {
+	sl := s.slot(line, false)
+	return sl != nil && *sl == s.gen
+}
+
+func (s *lineSet) add(line mem.Addr) { *s.slot(line, true) = s.gen }
+
+// clear empties the set by advancing the generation; pages are retained.
+func (s *lineSet) clear() {
+	s.gen++
+	if s.gen == 0 {
+		// Generation wraparound (once per 2^32 clears): stale stamps
+		// would alias the fresh generation, so zero the pages for real.
+		for _, p := range s.pages {
+			clear(p)
+		}
+		s.gen = 1
+	}
+}
+
+// modEntry records one speculatively-modified line and the earliest
+// sub-thread context that wrote it.
+type modEntry struct {
+	line mem.Addr
+	ctx  int32
+}
+
+// lineModMap maps speculatively-modified lines to the earliest writing
+// sub-thread context. Lookup is direct-addressed like lineSet; the entries
+// slice gives violations a deterministic, allocation-free iteration order.
+type lineModMap struct {
+	// pages hold stamp<<32 | (entry index + 1) per line.
+	pages   [][]uint64
+	gen     uint32
+	entries []modEntry
+}
+
+func newLineModMap() *lineModMap { return &lineModMap{gen: 1} }
+
+func (m *lineModMap) slot(line mem.Addr, alloc bool) *uint64 {
+	idx := line.LineIndex()
+	p := idx >> corePageShift
+	if p >= uint32(len(m.pages)) {
+		if !alloc {
+			return nil
+		}
+		m.pages = growPages(m.pages, p)
+	}
+	if m.pages[p] == nil {
+		if !alloc {
+			return nil
+		}
+		m.pages[p] = getPage64()
+	}
+	return &m.pages[p][idx&corePageMask]
+}
+
+// release hands every page back to the pool; the map must not be used after.
+func (m *lineModMap) release() {
+	for i, pg := range m.pages {
+		if pg != nil {
+			pagePool64.Put(pg)
+			m.pages[i] = nil
+		}
+	}
+}
+
+// noteWrite records that ctx speculatively wrote line, keeping the earliest
+// writing context per line (the invalidation granularity of §2.2).
+func (m *lineModMap) noteWrite(line mem.Addr, ctx int) {
+	sl := m.slot(line, true)
+	if *sl>>32 == uint64(m.gen) {
+		if en := &m.entries[uint32(*sl)-1]; int32(ctx) < en.ctx {
+			en.ctx = int32(ctx)
+		}
+		return
+	}
+	m.entries = append(m.entries, modEntry{line: line, ctx: int32(ctx)})
+	*sl = uint64(m.gen)<<32 | uint64(len(m.entries))
+}
+
+// all returns the live entries in insertion order. The slice aliases
+// internal storage: it is invalidated by the next noteWrite or clear.
+func (m *lineModMap) all() []modEntry { return m.entries }
+
+// clear empties the map by advancing the generation; pages are retained.
+func (m *lineModMap) clear() {
+	m.entries = m.entries[:0]
+	m.gen++
+	if m.gen == 0 {
+		for _, p := range m.pages {
+			clear(p)
+		}
+		m.gen = 1
+	}
+}

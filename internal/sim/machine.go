@@ -37,9 +37,12 @@ type core struct {
 	// (first speculative load); l1Mod maps lines it speculatively wrote
 	// to the earliest writing sub-thread context (invalidated from L1 on
 	// a violation, §2.2 — all of them without L1SubthreadTracking, only
-	// the rewound contexts' lines with it).
-	l1Flags map[mem.Addr]struct{}
-	l1Mod   map[mem.Addr]int
+	// the rewound contexts' lines with it). Both are direct-addressed,
+	// generation-stamped tables so the per-epoch reset is O(1) and the
+	// per-access probe allocation-free.
+	l1Flags *lineSet
+	l1Mod   *lineModMap
+	modKeep []modEntry // violation-path scratch (L1SubthreadTracking)
 
 	// spacing is the effective sub-thread spacing for this epoch
 	// (per-epoch under SpawnAdaptive).
@@ -86,7 +89,6 @@ type machine struct {
 	nextUnit    int
 	barrierLive bool // a barrier unit has started and not committed
 	committed   int  // units fully committed
-	epochByPtr  map[*tls.Epoch]*core
 
 	// tel receives protocol events; nil when telemetry is disabled.
 	// lastToken tracks homefree-token passes (the epoch that most recently
@@ -102,7 +104,19 @@ type machine struct {
 func Run(cfg Config, prog *Program) *Result {
 	m := newMachine(cfg, prog)
 	m.run()
-	return m.finish()
+	res := m.finish()
+	m.release()
+	return res
+}
+
+// release returns the per-core line tables' pages to the shared pools so the
+// next Run (possibly on another goroutine) reuses them instead of growing the
+// heap. The machine must not be used afterwards.
+func (m *machine) release() {
+	for _, c := range m.cores {
+		c.l1Flags.release()
+		c.l1Mod.release()
+	}
 }
 
 func newMachine(cfg Config, prog *Program) *machine {
@@ -112,15 +126,14 @@ func newMachine(cfg Config, prog *Program) *machine {
 	tcfg := cfg.TLS
 	tcfg.CPUs = cfg.CPUs
 	m := &machine{
-		cfg:        cfg,
-		prog:       prog,
-		engine:     tls.NewEngine(tcfg),
-		l2Banks:    cache.NewBanks(cfg.Mem.L2Banks, cfg.Mem.L2BankOccupancy),
-		memBanks:   cache.NewBanks(1, cfg.Mem.MemOccupancy),
-		pairs:      profile.NewPairList(cfg.PairListEntries),
-		epochByPtr: make(map[*tls.Epoch]*core),
-		iTouched:   make(map[mem.Addr]bool),
-		tel:        cfg.Telemetry,
+		cfg:      cfg,
+		prog:     prog,
+		engine:   tls.NewEngine(tcfg),
+		l2Banks:  cache.NewBanks(cfg.Mem.L2Banks, cfg.Mem.L2BankOccupancy),
+		memBanks: cache.NewBanks(1, cfg.Mem.MemOccupancy),
+		pairs:    profile.NewPairList(cfg.PairListEntries),
+		iTouched: make(map[mem.Addr]bool),
+		tel:      cfg.Telemetry,
 	}
 	if cfg.UsePredictor {
 		m.pred = predict.New()
@@ -139,14 +152,26 @@ func newMachine(cfg Config, prog *Program) *machine {
 			}),
 			elt:     profile.NewExposedLoadTable(cfg.ExposedTableEntries),
 			unit:    -1,
-			l1Flags: make(map[mem.Addr]struct{}),
-			l1Mod:   make(map[mem.Addr]int),
+			l1Flags: newLineSet(),
+			l1Mod:   newLineModMap(),
 		})
 		if cfg.Mem.ModelICache {
 			m.cores[i].ifetch = newIFetcher(cfg.Mem)
 		}
 	}
 	return m
+}
+
+// coreOf maps a live epoch back to the core running it: an epoch's Slot IS
+// its CPU (at most one live epoch per slot), so no lookup table is needed.
+func (m *machine) coreOf(e *tls.Epoch) *core {
+	if e.Slot < 0 || e.Slot >= len(m.cores) {
+		return nil
+	}
+	if c := m.cores[e.Slot]; c.epoch == e {
+		return c
+	}
+	return nil
 }
 
 func (m *machine) run() {
@@ -201,7 +226,7 @@ func (m *machine) emitHomefree() {
 		return
 	}
 	m.lastToken = e
-	c := m.epochByPtr[e]
+	c := m.coreOf(e)
 	if c == nil {
 		return
 	}
@@ -303,8 +328,11 @@ func (m *machine) tryStart(c *core) bool {
 		m.barrierLive = true
 	}
 	c.epoch = m.engine.StartEpoch(uint64(c.unit), c.id)
-	m.epochByPtr[c.epoch] = c
-	c.cursor = trace.NewCursor(u.Trace)
+	if c.cursor == nil {
+		c.cursor = trace.NewCursor(u.Trace)
+	} else {
+		c.cursor.Reset(u.Trace)
+	}
 	c.checkpoints = append(c.checkpoints[:0], c.cursor.Pos())
 	c.ctxCycles = append(c.ctxCycles[:0], Breakdown{})
 	c.spacing = m.effectiveSpacing(u.Trace)
@@ -313,8 +341,8 @@ func (m *machine) tryStart(c *core) bool {
 	c.syncing = false
 	c.overflowWait = false
 	c.missUntil = 0
-	clear(c.l1Flags)
-	clear(c.l1Mod)
+	c.l1Flags.clear()
+	c.l1Mod.clear()
 	c.elt.Reset()
 	if !u.Barrier {
 		m.res.EpochCount++
@@ -340,7 +368,6 @@ func (m *machine) finishEpoch(c *core) {
 		m.barrierLive = false
 	}
 	committed, sqs := m.engine.CommitOldest()
-	delete(m.epochByPtr, c.epoch)
 	if m.tel != nil {
 		m.tel.Emit(telemetry.Event{
 			Cycle: m.cycle, CPU: c.id, Kind: telemetry.EpochCommit,
@@ -354,7 +381,6 @@ func (m *machine) finishEpoch(c *core) {
 	m.res.CommittedInstrs += c.cursor.Trace().Instrs()
 	m.committed++
 	c.epoch = nil
-	c.cursor = nil
 	c.unit = -1
 	if m.cfg.CommitPenalty > 0 {
 		c.stallUntil = m.cycle + m.cfg.CommitPenalty

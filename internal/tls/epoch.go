@@ -93,7 +93,7 @@ func (g *Engine) StartSubthread(e *Epoch) bool {
 		}
 		tbl := ep.startTable[e.ID]
 		if tbl == nil {
-			tbl = new([MaxSubthreads]uint8)
+			tbl = g.getSM()
 			ep.startTable[e.ID] = tbl
 		}
 		tbl[e.CurCtx] = uint8(ep.CurCtx)
@@ -185,7 +185,7 @@ func (g *Engine) rewind(e *Epoch, ctx int) {
 	for c := ctx; c <= e.CurCtx; c++ {
 		bit := uint32(1) << uint(c)
 		for _, line := range e.ctxLines[c] {
-			lm := g.lines[line]
+			lm := g.lines.get(line)
 			if lm == nil {
 				continue
 			}
@@ -201,6 +201,7 @@ func (g *Engine) rewind(e *Epoch, ctx int) {
 				}
 				if all == 0 {
 					delete(lm.store, e.ID)
+					g.putSM(sm)
 				}
 			}
 			g.dropMetaIfEmpty(line, lm)
@@ -235,11 +236,12 @@ func (g *Engine) CommitOldest() (*Epoch, []Squash) {
 	var all []Squash
 	for c := 0; c <= e.CurCtx; c++ {
 		for _, line := range e.ctxLines[c] {
-			lm := g.lines[line]
+			lm := g.lines.get(line)
 			if lm != nil {
 				delete(lm.load, e.ID)
 				if sm := lm.store[e.ID]; sm != nil {
 					delete(lm.store, e.ID)
+					g.putSM(sm)
 				}
 				g.dropMetaIfEmpty(line, lm)
 			}
@@ -261,6 +263,13 @@ func (g *Engine) CommitOldest() (*Epoch, []Squash) {
 	g.releaseLatchesFrom(e, 0)
 	g.order = g.order[1:]
 	g.Commits++
+	// The committed epoch's start table dies with it; recycle the arrays.
+	// (Entries other live epochs keep for this epoch's ID are never read
+	// again and are recycled when those epochs commit.)
+	for id, tbl := range e.startTable {
+		g.putSM(tbl)
+		delete(e.startTable, id)
+	}
 	return e, all
 }
 
@@ -271,6 +280,6 @@ func (g *Engine) AbortAll() {
 		g.rewind(e, 0)
 		g.order = g.order[:len(g.order)-1]
 	}
-	g.lines = make(map[mem.Addr]*lineMeta)
+	g.lines.reset()
 	g.latches = make(map[mem.Addr]*latchState)
 }

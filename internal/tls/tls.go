@@ -178,11 +178,17 @@ type Engine struct {
 	L2     *cache.Cache
 	Victim *cache.Victim
 
-	lines  map[mem.Addr]*lineMeta
+	lines  lineTab
 	order  []*Epoch // live epochs, oldest first
 	nextID uint64
 
 	latches map[mem.Addr]*latchState
+
+	// Free lists: directory entries and SM/start-table arrays churn once
+	// per line per epoch, so they are recycled instead of reallocated (the
+	// hardware analogue is that these are fixed tables, not heap objects).
+	metaPool []*lineMeta
+	smPool   []*[MaxSubthreads]uint8
 
 	Stats
 }
@@ -196,9 +202,24 @@ func NewEngine(cfg Config) *Engine {
 		cfg:     cfg,
 		L2:      cache.New(cache.Config{Name: "L2", Sets: cfg.L2Sets, Ways: cfg.L2Ways}),
 		Victim:  cache.NewVictim(cfg.VictimEntries),
-		lines:   make(map[mem.Addr]*lineMeta),
 		latches: make(map[mem.Addr]*latchState),
 	}
+}
+
+// getSM pops a zeroed sub-thread byte array from the free list.
+func (g *Engine) getSM() *[MaxSubthreads]uint8 {
+	if n := len(g.smPool); n > 0 {
+		sm := g.smPool[n-1]
+		g.smPool = g.smPool[:n-1]
+		return sm
+	}
+	return new([MaxSubthreads]uint8)
+}
+
+// putSM recycles a sub-thread byte array, zeroing it for the next user.
+func (g *Engine) putSM(sm *[MaxSubthreads]uint8) {
+	*sm = [MaxSubthreads]uint8{}
+	g.smPool = append(g.smPool, sm)
 }
 
 // Config returns the engine's configuration.
@@ -217,20 +238,26 @@ func (g *Engine) Oldest() *Epoch {
 }
 
 func (g *Engine) meta(line mem.Addr) *lineMeta {
-	lm := g.lines[line]
+	lm := g.lines.get(line)
 	if lm == nil {
-		lm = &lineMeta{
-			load:  make(map[uint64]uint32),
-			store: make(map[uint64]*[MaxSubthreads]uint8),
+		if n := len(g.metaPool); n > 0 {
+			lm = g.metaPool[n-1]
+			g.metaPool = g.metaPool[:n-1]
+		} else {
+			lm = &lineMeta{
+				load:  make(map[uint64]uint32),
+				store: make(map[uint64]*[MaxSubthreads]uint8),
+			}
 		}
-		g.lines[line] = lm
+		g.lines.set(line, lm)
 	}
 	return lm
 }
 
 func (g *Engine) dropMetaIfEmpty(line mem.Addr, lm *lineMeta) {
 	if lm.empty() {
-		delete(g.lines, line)
+		g.lines.set(line, nil)
+		g.metaPool = append(g.metaPool, lm)
 	}
 }
 
@@ -387,7 +414,7 @@ func (g *Engine) Store(e *Epoch, pc isa.PC, addr mem.Addr) AccessResult {
 		// speculative load of this line is violated (loaded state is
 		// tracked at line granularity, §2.1). The violated sub-thread
 		// is the earliest context holding an SL bit.
-		if lm := g.lines[line]; lm != nil {
+		if lm := g.lines.get(line); lm != nil {
 			after := false
 			for _, ep := range g.order {
 				if ep == e {
@@ -420,7 +447,7 @@ func (g *Engine) Store(e *Epoch, pc isa.PC, addr mem.Addr) AccessResult {
 		lm := g.meta(line)
 		sm := lm.store[e.ID]
 		if sm == nil {
-			sm = new([MaxSubthreads]uint8)
+			sm = g.getSM()
 			lm.store[e.ID] = sm
 		}
 		mask := mem.WordMask(addr)
@@ -473,7 +500,7 @@ func (g *Engine) ForceSquash(e *Epoch, ctx int, reason Reason) []Squash {
 // (predicted-dependent) load of that word can now proceed with a forwarded
 // value. Used by the dependence-predictor ablation.
 func (g *Engine) ProducerWrote(e *Epoch, addr mem.Addr) bool {
-	lm := g.lines[addr.Line()]
+	lm := g.lines.get(addr.Line())
 	if lm == nil {
 		return false
 	}

@@ -393,8 +393,8 @@ func TestCommitClearsState(t *testing.T) {
 	g.CommitOldest()
 	e1.Completed = true
 	g.CommitOldest()
-	if len(g.lines) != 0 {
-		t.Errorf("line metadata leaked after commits: %d entries", len(g.lines))
+	if g.lines.live() != 0 {
+		t.Errorf("line metadata leaked after commits: %d entries", g.lines.live())
 	}
 	// The committed version must be resident as the committed copy.
 	if !g.L2.Present(cache.Entry{Line: addr(13, 0).Line(), Ver: cache.VerCommitted}) {
@@ -663,7 +663,7 @@ func TestAbortAll(t *testing.T) {
 	g.Store(e1, 1, addr(28, 0))
 	g.AcquireLatch(e0, addr(29, 0))
 	g.AbortAll()
-	if g.Live() != 0 || len(g.lines) != 0 {
+	if g.Live() != 0 || g.lines.live() != 0 {
 		t.Error("AbortAll left state behind")
 	}
 }
@@ -838,7 +838,7 @@ func TestEngineInvariantsUnderRandomOps(t *testing.T) {
 			e.Completed = true
 			g.CommitOldest()
 		}
-		return len(g.lines) == 0
+		return g.lines.live() == 0
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)

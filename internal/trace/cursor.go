@@ -23,6 +23,13 @@ type Cursor struct {
 // NewCursor returns a cursor at the start of t.
 func NewCursor(t *Trace) *Cursor { return &Cursor{t: t} }
 
+// Reset repoints the cursor at the start of t, allowing one cursor to be
+// reused across traces (the simulator keeps one per core).
+func (c *Cursor) Reset(t *Trace) {
+	c.t = t
+	c.pos = Pos{}
+}
+
 // Trace returns the trace being walked.
 func (c *Cursor) Trace() *Trace { return c.t }
 

@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"subthreads/internal/sim"
+)
+
+// buildKey identifies one distinct binary: the benchmark spec plus which
+// software mode (sequential vs. TLS-transformed) it was compiled for. Spec is
+// a comparable struct, so the key works directly as a map key.
+type buildKey struct {
+	Spec       Spec
+	Sequential bool
+}
+
+// buildEntry is a single-flight cell: the first caller runs Build inside the
+// once; every concurrent or later caller waits on it and shares the result.
+type buildEntry struct {
+	once  sync.Once
+	built *Built
+}
+
+// Builder memoizes Build results so that every sweep replaying the same
+// binary against different hardware configurations pays for one database
+// load + trace recording. A Built program is read-only under sim.Run (see
+// TestBuiltImmutable), so one cached program can back any number of
+// concurrent machines.
+//
+// A Builder is safe for concurrent use. The zero value is ready to use.
+type Builder struct {
+	mu     sync.Mutex
+	cache  map[buildKey]*buildEntry
+	builds atomic.Int64
+}
+
+// NewBuilder returns an empty build cache.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Build returns the memoized program for (spec, sequential), building it on
+// first use. Concurrent callers with the same key block until the one build
+// in flight completes.
+func (b *Builder) Build(spec Spec, sequential bool) *Built {
+	key := buildKey{Spec: spec, Sequential: sequential}
+	b.mu.Lock()
+	if b.cache == nil {
+		b.cache = make(map[buildKey]*buildEntry)
+	}
+	e := b.cache[key]
+	if e == nil {
+		e = &buildEntry{}
+		b.cache[key] = e
+	}
+	b.mu.Unlock()
+	e.once.Do(func() {
+		b.builds.Add(1)
+		e.built = Build(spec, sequential)
+	})
+	return e.built
+}
+
+// Builds reports how many actual (non-cached) Build calls the cache has
+// performed — the acceptance check that a sweep builds each distinct binary
+// exactly once.
+func (b *Builder) Builds() int { return int(b.builds.Load()) }
+
+// Run is workload.Run through the cache: it reuses the memoized program for
+// the experiment's software mode and simulates it on the experiment's machine.
+func (b *Builder) Run(spec Spec, e Experiment) (*sim.Result, *Built) {
+	built := b.Build(spec, e.SequentialSoftware())
+	res := sim.Run(Machine(e), built.Program)
+	return res, built
+}
+
+// RunConfig is workload.RunConfig through the cache: the TLS-transformed
+// program on a custom machine.
+func (b *Builder) RunConfig(spec Spec, cfg sim.Config) (*sim.Result, *Built) {
+	built := b.Build(spec, false)
+	res := sim.Run(cfg, built.Program)
+	return res, built
+}

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"subthreads/internal/sim"
+	"subthreads/internal/tpcc"
+)
+
+func TestBuilderCachesByKey(t *testing.T) {
+	b := NewBuilder()
+	spec := tinySpec(tpcc.NewOrder)
+
+	first := b.Build(spec, false)
+	if again := b.Build(spec, false); again != first {
+		t.Error("same key must return the cached *Built")
+	}
+	if n := b.Builds(); n != 1 {
+		t.Errorf("Builds() = %d after one distinct key, want 1", n)
+	}
+
+	// The software mode is part of the key.
+	seq := b.Build(spec, true)
+	if seq == first {
+		t.Error("sequential build must not share the TLS build's entry")
+	}
+	// So is every Spec field.
+	spec2 := spec
+	spec2.Txns++
+	if b.Build(spec2, false) == first {
+		t.Error("different spec must not hit the cache")
+	}
+	if n := b.Builds(); n != 3 {
+		t.Errorf("Builds() = %d after three distinct keys, want 3", n)
+	}
+}
+
+// TestBuilderSingleFlight: concurrent requests for one key perform exactly
+// one build, and everyone shares it. Run under -race this also exercises the
+// cache's locking.
+func TestBuilderSingleFlight(t *testing.T) {
+	b := NewBuilder()
+	spec := tinySpec(tpcc.NewOrder)
+
+	const goroutines = 8
+	got := make([]*Built, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = b.Build(spec, false)
+		}(i)
+	}
+	wg.Wait()
+
+	for i, g := range got {
+		if g == nil || g != got[0] {
+			t.Fatalf("goroutine %d got a different build", i)
+		}
+	}
+	if n := b.Builds(); n != 1 {
+		t.Errorf("Builds() = %d under contention, want 1", n)
+	}
+}
+
+// TestBuilderMatchesUncached: results obtained through the cache are
+// identical to fresh uncached builds — the cache must be invisible to every
+// figure and sweep.
+func TestBuilderMatchesUncached(t *testing.T) {
+	b := NewBuilder()
+	spec := tinySpec(tpcc.NewOrder)
+
+	for _, e := range []Experiment{Sequential, NoSubthread, Baseline} {
+		cached, _ := b.Run(spec, e)
+		fresh, _ := Run(spec, e)
+		if !reflect.DeepEqual(cached, fresh) {
+			t.Errorf("%v: cached result differs from uncached:\n%+v\nvs\n%+v", e, cached, fresh)
+		}
+	}
+	// Three experiments, two software modes -> exactly two builds.
+	if n := b.Builds(); n != 2 {
+		t.Errorf("Builds() = %d for three experiments over two modes, want 2", n)
+	}
+}
+
+// TestBuiltImmutable guards the cache's core assumption: sim.Run treats the
+// Program as read-only, so one shared Built yields identical Results run
+// after run.
+func TestBuiltImmutable(t *testing.T) {
+	built := Build(tinySpec(tpcc.NewOrder), false)
+	cfg := Machine(Baseline)
+
+	a := sim.Run(cfg, built.Program)
+	c := sim.Run(cfg, built.Program)
+	if !reflect.DeepEqual(a, c) {
+		t.Fatalf("second Run over a shared Built differs:\n%+v\nvs\n%+v", a, c)
+	}
+	// And on a different machine afterwards: the first runs must not have
+	// perturbed the program.
+	fresh := Build(tinySpec(tpcc.NewOrder), false)
+	d := sim.Run(Machine(NoSubthread), built.Program)
+	e := sim.Run(Machine(NoSubthread), fresh.Program)
+	if !reflect.DeepEqual(d, e) {
+		t.Fatalf("shared program was mutated by earlier runs:\n%+v\nvs\n%+v", d, e)
+	}
+}
+
+// TestBuiltConcurrentRuns: many machines simulate one shared Built at once
+// (the parallel runner's steady state). Under -race this verifies sim.Run
+// never writes the shared program.
+func TestBuiltConcurrentRuns(t *testing.T) {
+	built := Build(tinySpec(tpcc.NewOrder), false)
+	cfgs := []sim.Config{Machine(Baseline), Machine(NoSubthread), Machine(NoSpeculation)}
+
+	const perCfg = 3
+	results := make([]*sim.Result, len(cfgs)*perCfg)
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = sim.Run(cfgs[i%len(cfgs)], built.Program)
+		}(i)
+	}
+	wg.Wait()
+
+	// Same config -> identical result, regardless of interleaving.
+	for i := len(cfgs); i < len(results); i++ {
+		if !reflect.DeepEqual(results[i], results[i%len(cfgs)]) {
+			t.Errorf("run %d differs from its config's first run", i)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Regenerates BENCH_pipeline.json, the experiment-pipeline benchmark
+# artifact: suite wall-clock at -j 1 vs -j N (N defaults to the host's
+# cores), byte-identity of the two outputs, build-cache effectiveness, and
+# the simulator's steady-state allocations per epoch.
+#
+# Extra flags are passed through, e.g.:
+#   scripts/regen-pipeline-bench.sh -j 4
+set -e
+cd "$(dirname "$0")/.."
+exec go run ./cmd/experiments -pipeline-bench BENCH_pipeline.json -txns 3 -warmup 1 "$@"

@@ -88,6 +88,10 @@ type (
 	Experiment = workload.Experiment
 	// Built is a ready-to-simulate program plus provenance.
 	Built = workload.Built
+	// Builder is a concurrency-safe build cache: it memoizes Built
+	// programs so sweeps replaying one binary against many machines pay
+	// for a single database load + trace recording.
+	Builder = workload.Builder
 	// Benchmark identifies one of the seven workload variants.
 	Benchmark = tpcc.Benchmark
 	// Scale sizes the single-warehouse TPC-C dataset.
@@ -196,6 +200,10 @@ func RunConfig(spec Spec, cfg SimConfig) (*Result, *Built) { return workload.Run
 // Build loads a fresh database and records a benchmark's transaction stream
 // without simulating it.
 func Build(spec Spec, sequential bool) *Built { return workload.Build(spec, sequential) }
+
+// NewBuilder returns an empty build cache. A Built program is read-only
+// under Simulate, so one cached program can back many concurrent machines.
+func NewBuilder() *Builder { return workload.NewBuilder() }
 
 // Simulate runs an arbitrary program (e.g. hand-built synthetic units) on a
 // machine.
