@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"subthreads/internal/inject"
+)
+
+// TestInjectedOutputDeterministicAcrossJ pins the -inject determinism
+// contract: because every simulation gets a FRESH injector seeded from the
+// same spec (runner.apply), the fault schedule each task sees depends only on
+// the task, never on which worker ran it or in what order — so the rendered
+// report is byte-identical for every -j.
+func TestInjectedOutputDeterministicAcrossJ(t *testing.T) {
+	icfg, err := inject.Parse("seed=9,faults=8,window=40000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(jobs int) string {
+		o := tinyOptions()
+		r := newRunner(jobs)
+		r.paranoid = true
+		r.injectCfg = &icfg
+		o.par = r
+		var b strings.Builder
+		runFigure4(&b, o)
+		if r.Failures() > 0 {
+			t.Fatalf("j=%d: %d injected tasks failed outright", jobs, r.Failures())
+		}
+		return b.String()
+	}
+	serial := render(1)
+	parallel := render(4)
+	if serial != parallel {
+		t.Errorf("injected run output differs between -j 1 and -j 4:\n--- j=1 ---\n%s\n--- j=4 ---\n%s",
+			serial, parallel)
+	}
+	if !strings.Contains(serial, "FIGURE 4") {
+		t.Errorf("injected run produced no report:\n%s", serial)
+	}
+}

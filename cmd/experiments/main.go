@@ -26,9 +26,11 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"subthreads/internal/db"
+	"subthreads/internal/inject"
 	"subthreads/internal/report"
 	"subthreads/internal/sim"
 	"subthreads/internal/tls"
@@ -37,11 +39,13 @@ import (
 )
 
 type options struct {
-	txns   int
-	warmup int
-	seed   int64
-	paper  bool
-	bench  string
+	txns     int
+	warmup   int
+	seed     int64
+	paper    bool
+	bench    string
+	paranoid bool
+	inject   string
 	// par is the shared worker pool + build cache (-j); nil means serial
 	// with a private cache (see options.runner).
 	par *runner
@@ -71,10 +75,29 @@ func main() {
 	flag.Int64Var(&opts.seed, "seed", 42, "input generation seed")
 	flag.BoolVar(&opts.paper, "paper", false, "use the full single-warehouse TPC-C scale")
 	flag.StringVar(&opts.bench, "benchmark", "", "restrict to one benchmark (e.g. \"NEW ORDER\")")
+	flag.BoolVar(&opts.paranoid, "paranoid", false, "audit TLS protocol invariants every cycle boundary (abort on violation)")
+	flag.StringVar(&opts.inject, "inject", "", "fault injection spec, e.g. seed=1,faults=25,window=120000 (see internal/inject)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "simulations to run in parallel (output is identical for every -j)")
 	pipelineBench := flag.String("pipeline-bench", "", "measure suite runtime at -j 1 vs -j N and write a JSON report to this file")
 	flag.Parse()
 	opts.par = newRunner(*jobs)
+	opts.par.paranoid = opts.paranoid
+	if opts.inject != "" {
+		icfg, err := inject.Parse(opts.inject)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
+		opts.par.injectCfg = &icfg
+	}
+
+	repro := "go run ./cmd/experiments " + strings.Join(os.Args[1:], " ")
+	defer func() {
+		if p := recover(); p != nil {
+			fmt.Fprintf(os.Stderr, "experiments: fatal: %v | repro: %s\n", p, repro)
+			os.Exit(1)
+		}
+	}()
 
 	if *pipelineBench != "" {
 		if err := runPipelineBench(*pipelineBench, opts); err != nil {
@@ -86,29 +109,45 @@ func main() {
 
 	w := os.Stdout
 	ran := false
-	run := func(enabled bool, fn func(io.Writer, options)) {
-		if enabled || *all {
-			fn(w, opts)
-			ran = true
+	failed := 0
+	// Each experiment runs under its own recover so one failure (e.g. a
+	// watchdog abort under -inject surfacing through a nil task result)
+	// reports and moves on: the suite always emits every result it can.
+	run := func(enabled bool, name string, fn func(io.Writer, options)) {
+		if !(enabled || *all) {
+			return
 		}
+		ran = true
+		defer func() {
+			if p := recover(); p != nil {
+				failed++
+				fmt.Fprintf(os.Stderr, "experiments: %s failed: %v (continuing with remaining experiments)\n", name, p)
+			}
+		}()
+		fn(w, opts)
 	}
-	run(*table1, printTable1)
-	run(*table2, runTable2)
-	run(*figure5, runFigure5)
-	run(*figure6, runFigure6)
-	run(*figure4, runFigure4)
-	run(*tuning, runTuning)
-	run(*predictor, runPredictor)
-	run(*victim, runVictim)
-	run(*sweep, runSweep)
-	run(*spawn, runSpawn)
-	run(*l1track, runL1Track)
-	run(*ckptCost, runCheckpointCost)
-	run(*mlp, runMLP)
-	run(*icache, runICache)
+	run(*table1, "table1", printTable1)
+	run(*table2, "table2", runTable2)
+	run(*figure5, "figure5", runFigure5)
+	run(*figure6, "figure6", runFigure6)
+	run(*figure4, "figure4", runFigure4)
+	run(*tuning, "tuning", runTuning)
+	run(*predictor, "predictor", runPredictor)
+	run(*victim, "victim", runVictim)
+	run(*sweep, "sweep", runSweep)
+	run(*spawn, "spawn", runSpawn)
+	run(*l1track, "l1track", runL1Track)
+	run(*ckptCost, "checkpoint-cost", runCheckpointCost)
+	run(*mlp, "mlp", runMLP)
+	run(*icache, "icache", runICache)
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if taskFails := opts.par.Failures(); failed > 0 || taskFails > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d experiment(s) and %d task(s) failed; results above are partial | repro: %s\n",
+			failed, taskFails, repro)
+		os.Exit(1)
 	}
 }
 

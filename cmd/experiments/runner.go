@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"subthreads/internal/inject"
 	"subthreads/internal/sim"
 	"subthreads/internal/workload"
 )
@@ -26,6 +27,18 @@ func progress(name string, sims int, start time.Time, r *runner) {
 type runner struct {
 	jobs    int
 	builder *workload.Builder
+
+	// Suite-wide hardening overlays (set after construction, before use):
+	// paranoid enables the TLS protocol auditor on every simulation, and
+	// injectCfg seeds a fresh deterministic fault injector per simulation —
+	// per-task injectors keep output independent of worker scheduling, so
+	// reports stay byte-identical across -j even under injection.
+	paranoid  bool
+	injectCfg *inject.Config
+
+	// failed counts tasks that panicked (recovered by parDo); any failure
+	// makes the suite exit non-zero after the remaining experiments finish.
+	failed atomic.Int64
 }
 
 func newRunner(jobs int) *runner {
@@ -34,6 +47,23 @@ func newRunner(jobs int) *runner {
 	}
 	return &runner{jobs: jobs, builder: workload.NewBuilder()}
 }
+
+// apply overlays the suite-wide hardening options on one machine config.
+func (r *runner) apply(cfg sim.Config) sim.Config {
+	if r.paranoid {
+		cfg.Paranoid = true
+	}
+	if r.injectCfg != nil {
+		cfg.Inject = inject.New(*r.injectCfg)
+		if cfg.WatchdogCycles == 0 {
+			cfg.WatchdogCycles = inject.DefaultWatchdog
+		}
+	}
+	return cfg
+}
+
+// Failures reports how many tasks panicked and were recovered.
+func (r *runner) Failures() int { return int(r.failed.Load()) }
 
 // runner returns the options' shared runner, or a serial one for callers
 // (tests) that construct options directly.
@@ -57,7 +87,7 @@ func parDo[T any](r *runner, n int, fn func(int) T) []T {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			out[i] = fn(i)
+			out[i] = runTask(r, i, fn)
 		}
 		return out
 	}
@@ -72,12 +102,27 @@ func parDo[T any](r *runner, n int, fn func(int) T) []T {
 				if i >= n {
 					return
 				}
-				out[i] = fn(i)
+				out[i] = runTask(r, i, fn)
 			}
 		}()
 	}
 	wg.Wait()
 	return out
+}
+
+// runTask runs one parDo task, converting a panic (a failed simulation, e.g.
+// a sim.RunError under fault injection) into a recorded failure so the rest
+// of the suite still completes. The failed slot keeps its zero value; an
+// experiment that consumes it will itself fail and be recovered by the
+// per-experiment guard in main, reported, and skipped.
+func runTask[T any](r *runner, i int, fn func(int) T) (out T) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.failed.Add(1)
+			fmt.Fprintf(os.Stderr, "experiments: task %d failed: %v\n", i, p)
+		}
+	}()
+	return fn(i)
 }
 
 // runOut is one simulation plus the (cached) build it ran.
@@ -88,19 +133,19 @@ type runOut struct {
 
 // run simulates a Figure 5 experiment through the build cache.
 func (r *runner) run(spec workload.Spec, e workload.Experiment) runOut {
-	res, built := r.builder.Run(spec, e)
-	return runOut{res, built}
+	built := r.builder.Build(spec, e.SequentialSoftware())
+	return runOut{sim.Run(r.apply(workload.Machine(e)), built.Program), built}
 }
 
 // runConfig simulates the TLS binary on a custom machine through the cache.
 func (r *runner) runConfig(spec workload.Spec, cfg sim.Config) runOut {
-	res, built := r.builder.RunConfig(spec, cfg)
-	return runOut{res, built}
+	built := r.builder.Build(spec, false)
+	return runOut{sim.Run(r.apply(cfg), built.Program), built}
 }
 
 // runSeqConfig simulates the SEQUENTIAL binary on a custom machine (the
 // core-model ablations vary the machine under both software modes).
 func (r *runner) runSeqConfig(spec workload.Spec, cfg sim.Config) runOut {
 	built := r.builder.Build(spec, true)
-	return runOut{sim.Run(cfg, built.Program), built}
+	return runOut{sim.Run(r.apply(cfg), built.Program), built}
 }

@@ -12,7 +12,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"subthreads/internal/inject"
 	"subthreads/internal/isa"
 	"subthreads/internal/sim"
 	"subthreads/internal/telemetry"
@@ -55,8 +57,20 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit the dependence profile as JSON instead of text")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event timeline (ui.perfetto.dev)")
 		metricsOut = flag.String("metrics-out", "", "write a telemetry metrics snapshot as JSON")
+		paranoid   = flag.Bool("paranoid", false, "audit TLS protocol invariants every cycle boundary (abort on violation)")
+		injectSpec = flag.String("inject", "", "fault injection spec, e.g. seed=1,faults=25,window=120000 (see internal/inject)")
 	)
 	flag.Parse()
+
+	// A failed simulation panics with a structured *sim.RunError; report it
+	// on one line with the reproducing command and exit non-zero.
+	defer func() {
+		if p := recover(); p != nil {
+			repro := "go run ./cmd/tlsprof " + strings.Join(os.Args[1:], " ")
+			fmt.Fprintf(os.Stderr, "tlsprof: fatal: %v | repro: %s\n", p, repro)
+			os.Exit(1)
+		}
+	}()
 
 	bench, err := tpcc.Parse(*benchName)
 	if err != nil {
@@ -73,6 +87,18 @@ func main() {
 		exp = workload.NoSubthread
 	}
 	cfg := workload.Machine(exp)
+	cfg.Paranoid = *paranoid
+	if *injectSpec != "" {
+		icfg, err := inject.Parse(*injectSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tlsprof: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Inject = inject.New(icfg)
+		if cfg.WatchdogCycles == 0 {
+			cfg.WatchdogCycles = inject.DefaultWatchdog
+		}
+	}
 
 	var buf *telemetry.Buffer
 	var metrics *telemetry.Metrics

@@ -14,13 +14,24 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"subthreads/internal/check"
+	"subthreads/internal/inject"
 	"subthreads/internal/report"
 	"subthreads/internal/sim"
 	"subthreads/internal/telemetry"
+	"subthreads/internal/tls"
 	"subthreads/internal/tpcc"
 	"subthreads/internal/workload"
 )
+
+// repro is the command line that reproduces this run, printed with every
+// structured failure so a watchdog trip or audit abort is one paste away
+// from a debugger.
+func repro() string {
+	return "go run ./cmd/tlssim " + strings.Join(os.Args[1:], " ")
+}
 
 // writeTrace renders the captured event stream as a Perfetto-loadable Chrome
 // trace, resolving violation PCs through the workload's site registry.
@@ -91,8 +102,22 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit the measurement as JSON instead of text")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event timeline (ui.perfetto.dev)")
 		metricsOut = flag.String("metrics-out", "", "write a telemetry metrics snapshot as JSON")
+		paranoid   = flag.Bool("paranoid", false, "audit TLS protocol invariants every cycle boundary (abort on violation)")
+		injectSpec = flag.String("inject", "", "fault injection spec, e.g. seed=1,faults=25,window=120000 (see internal/inject)")
+		overflow   = flag.String("overflow", "", "victim-cache overflow policy: stall | squash")
+		checkRun   = flag.Bool("check", false, "verify the speculative run against the serial oracle before measuring")
 	)
 	flag.Parse()
+
+	// A failed simulation (watchdog trip, audit violation, cycle-budget
+	// exhaustion) panics with a structured *sim.RunError; report it on one
+	// line with the reproducing command and exit non-zero.
+	defer func() {
+		if p := recover(); p != nil {
+			fmt.Fprintf(os.Stderr, "tlssim: fatal: %v | repro: %s\n", p, repro())
+			os.Exit(1)
+		}
+	}()
 
 	if *list {
 		fmt.Println("benchmarks:")
@@ -137,6 +162,46 @@ func main() {
 	}
 	if *spacing > 0 {
 		cfg.SubthreadSpacing = *spacing
+	}
+	switch *overflow {
+	case "":
+	case "stall":
+		cfg.TLS.OverflowPolicy = tls.OverflowStall
+	case "squash":
+		cfg.TLS.OverflowPolicy = tls.OverflowSquash
+	default:
+		fmt.Fprintf(os.Stderr, "tlssim: -overflow must be stall or squash, not %q\n", *overflow)
+		os.Exit(2)
+	}
+	cfg.Paranoid = *paranoid
+	// Injectors are stateful (a consumed fault schedule), so build a fresh
+	// one per simulation: one for the -check pass, one for the measured run.
+	var icfg *inject.Config
+	if *injectSpec != "" {
+		c, err := inject.Parse(*injectSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tlssim: %v\n", err)
+			os.Exit(2)
+		}
+		icfg = &c
+		if cfg.WatchdogCycles == 0 {
+			cfg.WatchdogCycles = inject.DefaultWatchdog
+		}
+	}
+
+	if *checkRun {
+		ccfg := cfg
+		if icfg != nil {
+			ccfg.Inject = inject.New(*icfg)
+		}
+		if err := check.Differential(spec, ccfg); err != nil {
+			fmt.Fprintf(os.Stderr, "tlssim: check failed: %v | repro: %s\n", err, repro())
+			os.Exit(1)
+		}
+		fmt.Printf("check:      serial oracle clean (state digest, outputs, memory image)\n")
+	}
+	if icfg != nil {
+		cfg.Inject = inject.New(*icfg)
 	}
 
 	var buf *telemetry.Buffer

@@ -19,7 +19,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"subthreads/internal/inject"
 	"subthreads/internal/sim"
 	"subthreads/internal/telemetry"
 	"subthreads/internal/tpcc"
@@ -39,8 +41,20 @@ func main() {
 		traceOut   = flag.String("trace-out", "trace.json", "Chrome trace-event output (load in ui.perfetto.dev)")
 		metricsOut = flag.String("metrics-out", "", "metrics snapshot JSON output")
 		eventsOut  = flag.String("events-out", "", "raw event stream JSONL output")
+		paranoid   = flag.Bool("paranoid", false, "audit TLS protocol invariants every cycle boundary (abort on violation)")
+		injectSpec = flag.String("inject", "", "fault injection spec, e.g. seed=1,faults=25,window=120000 (see internal/inject)")
 	)
 	flag.Parse()
+
+	// A failed simulation panics with a structured *sim.RunError; report it
+	// on one line with the reproducing command and exit non-zero.
+	defer func() {
+		if p := recover(); p != nil {
+			repro := "go run ./cmd/tlstrace " + strings.Join(os.Args[1:], " ")
+			fmt.Fprintf(os.Stderr, "tlstrace: fatal: %v | repro: %s\n", p, repro)
+			os.Exit(1)
+		}
+	}()
 
 	bench, err := tpcc.Parse(*benchName)
 	if err != nil {
@@ -70,6 +84,18 @@ func main() {
 	}
 	if *spacing > 0 {
 		cfg.SubthreadSpacing = *spacing
+	}
+	cfg.Paranoid = *paranoid
+	if *injectSpec != "" {
+		icfg, err := inject.Parse(*injectSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tlstrace: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Inject = inject.New(icfg)
+		if cfg.WatchdogCycles == 0 {
+			cfg.WatchdogCycles = inject.DefaultWatchdog
+		}
 	}
 
 	buf := &telemetry.Buffer{}

@@ -198,6 +198,17 @@ func (c *Cache) RemoveIf(drop func(Entry) bool) int {
 	return n
 }
 
+// ForEach visits every resident entry in deterministic (set, MRU) order
+// without touching LRU state. The TLS auditor uses it to validate version
+// occupancy.
+func (c *Cache) ForEach(fn func(Entry)) {
+	for _, set := range c.sets {
+		for _, e := range set {
+			fn(e)
+		}
+	}
+}
+
 // Len reports the number of resident entries.
 func (c *Cache) Len() int {
 	n := 0

@@ -96,6 +96,14 @@ func (v *Victim) RemoveIf(drop func(Entry) bool) int {
 	return n
 }
 
+// ForEach visits every resident entry in MRU order without touching LRU
+// state.
+func (v *Victim) ForEach(fn func(Entry)) {
+	for _, e := range v.entries {
+		fn(e)
+	}
+}
+
 // Reset empties the victim cache, keeping statistics.
 func (v *Victim) Reset() { v.entries = v.entries[:0] }
 

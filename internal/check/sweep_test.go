@@ -1,0 +1,66 @@
+package check
+
+import (
+	"errors"
+	"testing"
+
+	"subthreads/internal/inject"
+	"subthreads/internal/sim"
+	"subthreads/internal/tls"
+	"subthreads/internal/tpcc"
+	"subthreads/internal/workload"
+)
+
+// TestInjectionSweep is the stress acceptance test: 12 seeded fault
+// schedules under each overflow policy (24 runs), all with the paranoid
+// auditor and the serial oracle attached. Every run must either retire with
+// an oracle-clean committed state or abandon with a structured *sim.RunError
+// — never hang (the watchdog and cycle budget bound each run) and never
+// corrupt state silently.
+func TestInjectionSweep(t *testing.T) {
+	built := workload.Build(smallSpec(tpcc.NewOrder), false)
+	serial := SerialImage(built.Program)
+
+	clean, structured := 0, 0
+	for _, policy := range []tls.OverflowPolicy{tls.OverflowStall, tls.OverflowSquash} {
+		for seed := uint64(1); seed <= 12; seed++ {
+			icfg := inject.DefaultConfig()
+			icfg.Seed = seed
+			icfg.Faults = 15
+			icfg.Window = 60_000
+
+			cfg := workload.Machine(workload.Baseline)
+			cfg.TLS.OverflowPolicy = policy
+			cfg.Paranoid = true
+			cfg.Inject = inject.New(icfg)
+			cfg.WatchdogCycles = 500_000
+			cfg.MaxCycles = 20_000_000
+			o := NewOracle()
+			cfg.Oracle = o
+
+			res, err := sim.RunE(cfg, built.Program)
+			if err != nil {
+				var re *sim.RunError
+				if !errors.As(err, &re) {
+					t.Fatalf("policy=%v seed=%d: unstructured failure %T: %v", policy, seed, err, err)
+				}
+				structured++
+				continue
+			}
+			if res.InjectedFaults == 0 {
+				t.Errorf("policy=%v seed=%d: no faults delivered", policy, seed)
+			}
+			if derr := o.Done(); derr != nil {
+				t.Errorf("policy=%v seed=%d: %v", policy, seed, derr)
+			}
+			if d := Compare(serial, o.Image()); d != nil {
+				t.Errorf("policy=%v seed=%d: injected faults corrupted state: %v", policy, seed, d)
+			}
+			clean++
+		}
+	}
+	t.Logf("sweep: %d oracle-clean commits, %d structured aborts (of 24 runs)", clean, structured)
+	if clean == 0 {
+		t.Error("every injected run aborted; the sweep exercised no commit paths")
+	}
+}

@@ -1,0 +1,39 @@
+package db
+
+import "math"
+
+// StateDigest hashes the logical content of every table — tree name, then
+// each (key, fields) row in key order — into one FNV-1a word. It reads the
+// functional state only (no simulated addresses, no trace emission), so two
+// executions that computed the same database agree on the digest regardless
+// of software mode or memory layout. The differential oracle compares the
+// digest of a flat/serial build against the TLS-transformed build.
+func (e *Env) StateDigest() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	byte8 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	for _, t := range e.trees {
+		for i := 0; i < len(t.name); i++ {
+			h ^= uint64(t.name[i])
+			h *= prime
+		}
+		t.Scan(nil, math.MinInt64, 0, func(key int64, r *Row) bool {
+			byte8(uint64(key))
+			byte8(uint64(len(r.Fields)))
+			for _, f := range r.Fields {
+				byte8(uint64(f))
+			}
+			return true
+		})
+	}
+	return h
+}

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"subthreads/internal/cache"
 	"subthreads/internal/isa"
 	"subthreads/internal/profile"
@@ -61,6 +63,12 @@ func (m *machine) load(c *core, ev trace.Event) (lat uint64, selfSquashed bool) 
 // the store buffer, but the write consumes L2 bank bandwidth.
 func (m *machine) store(c *core, ev trace.Event) (selfSquashed bool) {
 	line := ev.Addr.Line()
+	if m.cfg.Oracle != nil {
+		// Observe before the engine applies the store: a violation or
+		// overflow squash triggered by this very store must be able to
+		// discard it again through OnSquash.
+		m.cfg.Oracle.OnStore(c.epoch.ID, c.epoch.CurCtx, ev.Addr, c.cursor.Done())
+	}
 	res := m.engine.Store(c.epoch, ev.PC, ev.Addr)
 	if res.L2Hit {
 		m.res.L2Hits++
@@ -154,6 +162,14 @@ func (m *machine) applySquashesFrom(caller *core, sqs []tls.Squash) (selfSquashe
 
 		// Rewind execution to the checkpoint.
 		ckpt := c.checkpoints[sq.Ctx]
+		if m.cfg.Paranoid && ckpt.Done() > c.cursor.Done() && m.err == nil {
+			m.err = fmt.Errorf(
+				"rewind of epoch %d ctx %d moves cursor forward (%d -> %d instrs)",
+				sq.Epoch.ID, sq.Ctx, c.cursor.Done(), ckpt.Done())
+		}
+		if m.cfg.Oracle != nil {
+			m.cfg.Oracle.OnSquash(sq.Epoch.ID, sq.Ctx)
+		}
 		rewound := c.cursor.Done() - ckpt.Done()
 		m.res.RewoundInstrs += rewound
 		if m.tel != nil {

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"fmt"
+
+	"subthreads/internal/mem"
+)
+
+// MemOracle observes the memory image a run commits. The simulator calls it
+// at the three points that determine the final architectural state: every
+// store (before the engine applies it), every sub-thread squash (so buffered
+// stores of rewound contexts are discarded), and every epoch commit (folding
+// the surviving stores into the committed image in program order). The
+// differential oracle in internal/check implements it to compare the
+// speculative execution against a serial replay of the same traces.
+//
+// unit is the program-unit index (== epoch ID), ctx the sub-thread context,
+// seq the number of trace instructions retired by the unit up to and
+// including the store — together (unit, seq) names one dynamic store site,
+// which is the store's identity in a value-free trace.
+type MemOracle interface {
+	OnStore(unit uint64, ctx int, addr mem.Addr, seq uint64)
+	OnSquash(unit uint64, ctx int)
+	OnCommit(unit uint64)
+}
+
+// FaultKind selects what a scheduled fault does to the run.
+type FaultKind uint8
+
+const (
+	// FaultSquash force-squashes a speculative sub-thread (a synthetic
+	// violation, exercising the secondary-violation cascade).
+	FaultSquash FaultKind = iota
+	// FaultOverflow synthesizes speculative-buffer exhaustion: under
+	// OverflowSquash the victim sub-thread is squashed with the overflow
+	// reason; under OverflowStall the epoch is stalled as if its store had
+	// been refused.
+	FaultOverflow
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultSquash:
+		return "squash"
+	case FaultOverflow:
+		return "overflow"
+	default:
+		return fmt.Sprintf("fault(%d)", uint8(k))
+	}
+}
+
+// Fault is one scheduled perturbation. CPU and Ctx are hints reduced modulo
+// the live-victim population at delivery time, so every schedule applies to
+// every machine shape.
+type Fault struct {
+	Cycle uint64
+	Kind  FaultKind
+	CPU   int
+	Ctx   int
+}
+
+// Injector feeds deterministic faults into a run. Next pops every fault
+// scheduled at or before now (in schedule order); LatchDelayed reports
+// whether latch grants are suppressed on this cycle (delayed-latch-grant
+// perturbation). Implementations must be pure functions of their seed and
+// the query cycle so runs stay reproducible across worker counts.
+type Injector interface {
+	Next(now uint64) (Fault, bool)
+	LatchDelayed(now uint64) bool
+}
+
+// RunError is the structured failure a run can end with instead of a result:
+// a protocol-invariant audit failure (paranoid mode), a forward-progress
+// watchdog trip, or a cycle-budget overrun. Run panics with *RunError so
+// legacy callers keep their no-error signature; RunE returns it.
+type RunError struct {
+	// Kind is "audit", "watchdog", or "max-cycles".
+	Kind string
+	// Cycle is when the run was abandoned.
+	Cycle uint64
+	// Err is the underlying cause (e.g. *tls.AuditError).
+	Err error
+}
+
+func (e *RunError) Error() string {
+	return fmt.Sprintf("sim: %s failure at cycle %d: %v", e.Kind, e.Cycle, e.Err)
+}
+
+func (e *RunError) Unwrap() error { return e.Err }

@@ -96,17 +96,33 @@ type machine struct {
 	tel       telemetry.Emitter
 	lastToken *tls.Epoch
 
+	// err records a mid-step paranoid failure (e.g. a forward rewind)
+	// for the run loop to surface as a RunError.
+	err error
+
 	res Result
 }
 
 // Run executes the program on the configured machine and returns the
-// measured result.
+// measured result. A structured failure (audit, watchdog, cycle budget —
+// see RunE) panics with the *RunError; normal runs never fail.
 func Run(cfg Config, prog *Program) *Result {
+	res, err := RunE(cfg, prog)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunE executes the program and returns the measured result, or a *RunError
+// when paranoid auditing, the forward-progress watchdog, or the cycle budget
+// abandons the run. The partial result is returned alongside the error.
+func RunE(cfg Config, prog *Program) (*Result, error) {
 	m := newMachine(cfg, prog)
-	m.run()
+	err := m.run()
 	res := m.finish()
 	m.release()
-	return res
+	return res, err
 }
 
 // release returns the per-core line tables' pages to the shared pools so the
@@ -125,6 +141,7 @@ func newMachine(cfg Config, prog *Program) *machine {
 	}
 	tcfg := cfg.TLS
 	tcfg.CPUs = cfg.CPUs
+	tcfg.Paranoid = tcfg.Paranoid || cfg.Paranoid
 	m := &machine{
 		cfg:      cfg,
 		prog:     prog,
@@ -174,18 +191,53 @@ func (m *machine) coreOf(e *tls.Epoch) *core {
 	return nil
 }
 
-func (m *machine) run() {
+func (m *machine) run() error {
 	deadlock := m.cfg.LatchDeadlockCycles
 	if deadlock == 0 {
 		deadlock = 50000
 	}
 	var allSyncSince uint64
 	syncRun := false
+	var lastCommitAt uint64
+	lastCommitted := m.committed
 	for m.committed < len(m.prog.Units) {
+		if m.cfg.Inject != nil {
+			for {
+				f, ok := m.cfg.Inject.Next(m.cycle)
+				if !ok {
+					break
+				}
+				m.injectFault(f)
+			}
+		}
 		for _, c := range m.cores {
 			m.step(c)
 		}
 		m.cycle++
+		if m.err != nil {
+			return m.abandon("audit", m.err)
+		}
+		if m.cfg.Paranoid {
+			if err := m.engine.AuditErr(); err != nil {
+				return m.abandon("audit", err)
+			}
+		}
+
+		// Forward-progress watchdog: livelock (nothing commits for too
+		// long) becomes a structured error instead of a hang.
+		if m.committed != lastCommitted {
+			lastCommitted = m.committed
+			lastCommitAt = m.cycle
+		} else if wd := m.cfg.WatchdogCycles; wd > 0 && m.cycle-lastCommitAt > wd {
+			return m.abandon("watchdog", fmt.Errorf(
+				"no unit committed for %d cycles (%d/%d committed)",
+				wd, m.committed, len(m.prog.Units)))
+		}
+		if mc := m.cfg.MaxCycles; mc > 0 && m.cycle > mc {
+			return m.abandon("max-cycles", fmt.Errorf(
+				"cycle budget %d exhausted (%d/%d units committed)",
+				mc, m.committed, len(m.prog.Units)))
+		}
 
 		// Latch-deadlock watchdog: if every core with work is stuck in
 		// a synchronization wait for too long, break the cycle by
@@ -212,6 +264,70 @@ func (m *machine) run() {
 		}
 	}
 	m.res.Cycles = m.cycle
+	if m.cfg.Paranoid {
+		if total := m.res.Breakdown.Total(); total != m.cycle*uint64(m.cfg.CPUs) {
+			return m.abandon("audit", fmt.Errorf(
+				"cycle accounting imbalance: breakdown %d != %d cycles x %d CPUs",
+				total, m.cycle, m.cfg.CPUs))
+		}
+	}
+	return nil
+}
+
+// abandon records the failure telemetry and wraps the cause in a RunError.
+func (m *machine) abandon(kind string, err error) error {
+	m.res.Cycles = m.cycle
+	if m.tel != nil {
+		k := telemetry.WatchdogTrip
+		if kind == "audit" {
+			k = telemetry.AuditFail
+		}
+		m.tel.Emit(telemetry.Event{Cycle: m.cycle, Kind: k})
+	}
+	return &RunError{Kind: kind, Cycle: m.cycle, Err: err}
+}
+
+// injectFault delivers one scheduled fault: the CPU/Ctx hints are reduced
+// over the currently-live speculative (non-oldest) epochs, so injection
+// never touches the homefree epoch — whose state is architecturally
+// committed and must not be rewound.
+func (m *machine) injectFault(f Fault) {
+	var victims []*core
+	for _, c := range m.cores {
+		if c.epoch != nil && m.engine.Speculative(c.epoch) {
+			victims = append(victims, c)
+		}
+	}
+	if len(victims) == 0 {
+		return
+	}
+	v := victims[f.CPU%len(victims)]
+	ctx := f.Ctx % (v.epoch.CurCtx + 1)
+	m.res.InjectedFaults++
+	if m.tel != nil {
+		k := telemetry.InjectSquash
+		if f.Kind == FaultOverflow {
+			k = telemetry.InjectOverflow
+		}
+		m.tel.Emit(telemetry.Event{
+			Cycle: m.cycle, CPU: v.id, Kind: k,
+			Epoch: v.epoch.ID, Ctx: ctx,
+		})
+	}
+	switch f.Kind {
+	case FaultSquash:
+		m.applySquashes(m.engine.ForceSquash(v.epoch, ctx, tls.Secondary))
+	case FaultOverflow:
+		if m.engine.Config().OverflowPolicy == tls.OverflowSquash {
+			m.applySquashes(m.engine.ForceSquash(v.epoch, ctx, tls.Overflow))
+		} else if !v.overflowWait {
+			// Synthetic buffer exhaustion: stall exactly as a
+			// refused speculative insert would (§2.1).
+			m.res.OverflowWaits++
+			v.overflowWait = true
+			v.overflowCommits = m.engine.Stats.Commits
+		}
+	}
 }
 
 // emitHomefree reports homefree-token passes: whenever the oldest live epoch
@@ -368,6 +484,9 @@ func (m *machine) finishEpoch(c *core) {
 		m.barrierLive = false
 	}
 	committed, sqs := m.engine.CommitOldest()
+	if m.cfg.Oracle != nil {
+		m.cfg.Oracle.OnCommit(committed.ID)
+	}
 	if m.tel != nil {
 		m.tel.Emit(telemetry.Event{
 			Cycle: m.cycle, CPU: c.id, Kind: telemetry.EpochCommit,
@@ -412,7 +531,7 @@ func (m *machine) retrySync(c *core) {
 		return
 	}
 	// Latch wait.
-	if m.engine.AcquireLatch(c.epoch, c.syncAddr) {
+	if !m.latchDelayed() && m.engine.AcquireLatch(c.epoch, c.syncAddr) {
 		c.syncing = false
 		if m.tel != nil {
 			m.tel.Emit(telemetry.Event{
@@ -454,7 +573,7 @@ func (m *machine) execute(c *core) {
 		if kind == isa.LatchAcquire {
 			// Peek-first: the event is only consumed once granted.
 			ev := peekEvent(c.cursor)
-			if !m.engine.AcquireLatch(c.epoch, ev.Addr) {
+			if m.latchDelayed() || !m.engine.AcquireLatch(c.epoch, ev.Addr) {
 				if !issued {
 					c.syncing = true
 					c.predSync = false
@@ -607,6 +726,12 @@ func (m *machine) execute(c *core) {
 		}
 	}
 	m.accrue(c, cat)
+}
+
+// latchDelayed reports whether the fault injector suppresses latch grants on
+// this cycle (delayed-latch-grant perturbation).
+func (m *machine) latchDelayed() bool {
+	return m.cfg.Inject != nil && m.cfg.Inject.LatchDelayed(m.cycle)
 }
 
 // peekEvent returns the next raw event without consuming it.

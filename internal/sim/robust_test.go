@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"subthreads/internal/mem"
+	"subthreads/internal/tls"
+	"subthreads/internal/trace"
+)
+
+// Robustness-path tests: fault injection, the forward-progress watchdog, the
+// cycle budget, and structured RunE errors. A local stub injector is used
+// instead of internal/inject (which imports sim) so these stay in-package.
+
+type stubInjector struct {
+	faults []Fault
+	next   int
+
+	// Latch grants are delayed for latchDelay cycles out of every
+	// latchEvery (0 = never).
+	latchEvery uint64
+	latchDelay uint64
+}
+
+func (s *stubInjector) Next(now uint64) (Fault, bool) {
+	if s.next < len(s.faults) && s.faults[s.next].Cycle <= now {
+		f := s.faults[s.next]
+		s.next++
+		return f, true
+	}
+	return Fault{}, false
+}
+
+func (s *stubInjector) LatchDelayed(now uint64) bool {
+	return s.latchEvery > 0 && now%s.latchEvery < s.latchDelay
+}
+
+// latchTrace acquires and releases one latch around a slab of compute.
+func latchTrace(l mem.Addr, work uint32) *trace.Trace {
+	b := trace.NewBuilder()
+	b.ALU(100)
+	b.LatchAcquire(1, l)
+	b.ALU(work)
+	b.LatchRelease(2, l)
+	b.ALU(100)
+	return b.Finish()
+}
+
+func TestWatchdogConvertsLivelockToError(t *testing.T) {
+	cfg := testConfig()
+	cfg.WatchdogCycles = 2000
+	// Every latch grant is refused forever: the program can never commit.
+	cfg.Inject = &stubInjector{latchEvery: 1, latchDelay: 1}
+	res, err := RunE(cfg, &Program{Units: []Unit{{Trace: latchTrace(0x9000, 1000)}}})
+	if err == nil {
+		t.Fatal("livelocked run returned no error")
+	}
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("error is %T, want *RunError", err)
+	}
+	if re.Kind != "watchdog" {
+		t.Errorf("RunError.Kind = %q, want %q", re.Kind, "watchdog")
+	}
+	if re.Cycle < cfg.WatchdogCycles {
+		t.Errorf("tripped at cycle %d, before the %d-cycle watchdog window", re.Cycle, cfg.WatchdogCycles)
+	}
+	if res == nil || res.Cycles == 0 {
+		t.Error("no partial result alongside the watchdog error")
+	}
+}
+
+func TestMaxCyclesBudgetIsEnforced(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxCycles = 1500
+	cfg.Inject = &stubInjector{latchEvery: 1, latchDelay: 1}
+	_, err := RunE(cfg, &Program{Units: []Unit{{Trace: latchTrace(0x9100, 1000)}}})
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *RunError", err)
+	}
+	if re.Kind != "max-cycles" {
+		t.Errorf("RunError.Kind = %q, want %q", re.Kind, "max-cycles")
+	}
+}
+
+func TestRunPanicsWithRunError(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxCycles = 1000
+	cfg.Inject = &stubInjector{latchEvery: 1, latchDelay: 1}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Run did not panic on a structured failure")
+		}
+		if _, ok := r.(*RunError); !ok {
+			t.Fatalf("Run panicked with %T, want *RunError", r)
+		}
+	}()
+	Run(cfg, &Program{Units: []Unit{{Trace: latchTrace(0x9200, 1000)}}})
+}
+
+func TestInjectedSquashesRunToCompletion(t *testing.T) {
+	cfg := testConfig()
+	cfg.Paranoid = true
+	var faults []Fault
+	for i := 0; i < 10; i++ {
+		faults = append(faults, Fault{
+			Cycle: uint64(500 + i*700),
+			Kind:  FaultSquash,
+			CPU:   i,
+			Ctx:   i,
+		})
+	}
+	cfg.Inject = &stubInjector{faults: faults}
+	var units []Unit
+	for i := 0; i < 8; i++ {
+		units = append(units, Unit{Trace: aluTrace(8000)})
+	}
+	res := run(t, cfg, units...)
+	if res.InjectedFaults == 0 {
+		t.Fatal("no faults delivered")
+	}
+	if res.TLS.Commits != 8 {
+		t.Errorf("Commits = %d, want 8 — injected squashes broke convergence", res.TLS.Commits)
+	}
+	if res.Breakdown[Failed] == 0 {
+		t.Error("injected squashes produced no failed-speculation cycles")
+	}
+}
+
+func TestInjectedOverflowUnderSquashPolicy(t *testing.T) {
+	cfg := testConfig()
+	cfg.Paranoid = true
+	cfg.TLS.OverflowPolicy = tls.OverflowSquash
+	cfg.Inject = &stubInjector{faults: []Fault{
+		{Cycle: 600, Kind: FaultOverflow, CPU: 1},
+		{Cycle: 1400, Kind: FaultOverflow, CPU: 2},
+	}}
+	var units []Unit
+	for i := 0; i < 6; i++ {
+		units = append(units, Unit{Trace: aluTrace(6000)})
+	}
+	res := run(t, cfg, units...)
+	if res.InjectedFaults != 2 {
+		t.Errorf("InjectedFaults = %d, want 2", res.InjectedFaults)
+	}
+	if res.TLS.Commits != 6 {
+		t.Errorf("Commits = %d, want 6", res.TLS.Commits)
+	}
+}
+
+func TestInjectedOverflowUnderStallPolicy(t *testing.T) {
+	cfg := testConfig() // default policy: OverflowStall
+	cfg.Paranoid = true
+	cfg.Inject = &stubInjector{faults: []Fault{
+		{Cycle: 600, Kind: FaultOverflow, CPU: 1},
+		{Cycle: 1400, Kind: FaultOverflow, CPU: 2},
+	}}
+	var units []Unit
+	for i := 0; i < 6; i++ {
+		units = append(units, Unit{Trace: aluTrace(6000)})
+	}
+	res := run(t, cfg, units...)
+	if res.OverflowWaits == 0 {
+		t.Error("injected overflow under the stall policy produced no overflow waits")
+	}
+	if res.TLS.Commits != 6 {
+		t.Errorf("Commits = %d, want 6", res.TLS.Commits)
+	}
+}
+
+func TestDelayedLatchGrantsStillConverge(t *testing.T) {
+	cfg := testConfig()
+	cfg.Paranoid = true
+	cfg.Inject = &stubInjector{latchEvery: 64, latchDelay: 8}
+	l := mem.Addr(0x9300)
+	res := run(t, cfg, Unit{Trace: latchTrace(l, 20000)}, Unit{Trace: latchTrace(l, 20000)})
+	if res.TLS.Commits != 2 {
+		t.Fatalf("Commits = %d; delayed latch grants broke the run", res.TLS.Commits)
+	}
+	if res.Breakdown[Sync] == 0 {
+		t.Error("no sync stalls despite delayed latch grants")
+	}
+}
+
+func TestInjectionIsDeterministic(t *testing.T) {
+	mk := func() (Config, []Unit) {
+		cfg := testConfig()
+		cfg.Inject = &stubInjector{faults: []Fault{
+			{Cycle: 500, Kind: FaultSquash, CPU: 1, Ctx: 3},
+			{Cycle: 900, Kind: FaultOverflow, CPU: 2},
+			{Cycle: 1300, Kind: FaultSquash, CPU: 0, Ctx: 1},
+		}}
+		var units []Unit
+		for i := 0; i < 6; i++ {
+			units = append(units, Unit{Trace: aluTrace(7000)})
+		}
+		return cfg, units
+	}
+	cfgA, unitsA := mk()
+	cfgB, unitsB := mk()
+	a := run(t, cfgA, unitsA...)
+	b := run(t, cfgB, unitsB...)
+	if a.Cycles != b.Cycles || a.InjectedFaults != b.InjectedFaults ||
+		a.RewoundInstrs != b.RewoundInstrs || a.Breakdown != b.Breakdown {
+		t.Errorf("identical injected runs diverged: %d/%d cycles, %d/%d faults",
+			a.Cycles, b.Cycles, a.InjectedFaults, b.InjectedFaults)
+	}
+}

@@ -169,6 +169,35 @@ type Config struct {
 	// instrumentation; the only residual cost is a pointer test at each
 	// protocol event, never on the per-instruction path.
 	Telemetry telemetry.Emitter
+
+	// Paranoid enables the protocol invariant auditor: the TLS engine
+	// re-validates its architectural state at every protocol event
+	// (commit-order monotonicity, SL/SM masks never spanning freed
+	// contexts, cache version-occupancy accounting — see tls.AuditError),
+	// and the simulator checks that rewinds never move a cursor forward
+	// and that cycle accounting balances. A failure ends the run with a
+	// RunError of kind "audit".
+	Paranoid bool
+
+	// Oracle, when non-nil, observes stores, squashes, and commits so an
+	// external checker (internal/check) can reconstruct the committed
+	// memory image. Purely observational: it never affects timing.
+	Oracle MemOracle
+
+	// Inject, when non-nil, feeds deterministic faults into the run
+	// (internal/inject). Each injector is single-use: construct a fresh
+	// one per Run.
+	Inject Injector
+
+	// WatchdogCycles bounds how long the machine may go without committing
+	// a unit before the run is abandoned with a RunError of kind
+	// "watchdog" — the forward-progress guard that converts livelock into
+	// a structured error. 0 disables the watchdog.
+	WatchdogCycles uint64
+
+	// MaxCycles is a hard cycle budget; exceeding it ends the run with a
+	// RunError of kind "max-cycles". 0 means unbounded.
+	MaxCycles uint64
 }
 
 // DefaultConfig returns the paper's BASELINE machine: 4 CPUs, 8 sub-threads
@@ -282,6 +311,8 @@ type Result struct {
 	MemAccesses         uint64
 	LatchDeadlockBreaks uint64
 	PredictorSyncs      uint64
+	// InjectedFaults counts perturbations delivered by a fault injector.
+	InjectedFaults uint64
 	// OverflowWaits counts epoch stalls caused by speculative-buffer
 	// exhaustion (OverflowStall policy, §2.1).
 	OverflowWaits uint64

@@ -229,6 +229,18 @@ func WriteChromeTrace(w io.Writer, events []Event, opt TraceOptions) error {
 
 		case DeadlockBreak:
 			tb.instant(ev.CPU, laneEpoch, ev.Cycle, "deadlock break", nil)
+
+		case InjectSquash:
+			tb.instant(ev.CPU, laneSubthr, ev.Cycle, "injected squash", nil)
+
+		case InjectOverflow:
+			tb.instant(ev.CPU, laneSubthr, ev.Cycle, "injected overflow", nil)
+
+		case WatchdogTrip:
+			tb.instant(ev.CPU, laneEpoch, ev.Cycle, "watchdog trip", nil)
+
+		case AuditFail:
+			tb.instant(ev.CPU, laneEpoch, ev.Cycle, "audit failure", nil)
 		}
 	}
 

@@ -42,6 +42,10 @@
 //	                   be buffered (OverflowStall policy, §2.1).
 //	OverflowResume     the overflow stall ended (an earlier epoch committed).
 //	DeadlockBreak      the latch-deadlock watchdog squashed this epoch.
+//	InjectSquash       the fault injector force-squashed this sub-thread.
+//	InjectOverflow     the fault injector synthesized buffer exhaustion here.
+//	WatchdogTrip       the forward-progress watchdog abandoned the run.
+//	AuditFail          the paranoid auditor found a broken invariant.
 //
 // Unused fields are zero and omitted from JSON encodings.
 package telemetry
@@ -85,6 +89,16 @@ const (
 	OverflowResume
 	// DeadlockBreak: the watchdog squashed a latch-deadlocked epoch.
 	DeadlockBreak
+	// InjectSquash: the fault injector force-squashed a sub-thread.
+	InjectSquash
+	// InjectOverflow: the fault injector synthesized buffer exhaustion.
+	InjectOverflow
+	// WatchdogTrip: the forward-progress watchdog (or cycle budget)
+	// abandoned the run.
+	WatchdogTrip
+	// AuditFail: the paranoid protocol auditor found a broken invariant
+	// and the run was abandoned.
+	AuditFail
 	// NumKinds is the number of distinct event kinds.
 	NumKinds
 )
@@ -103,6 +117,10 @@ var kindNames = [...]string{
 	OverflowStall:      "overflow-stall",
 	OverflowResume:     "overflow-resume",
 	DeadlockBreak:      "deadlock-break",
+	InjectSquash:       "inject-squash",
+	InjectOverflow:     "inject-overflow",
+	WatchdogTrip:       "watchdog-trip",
+	AuditFail:          "audit-fail",
 }
 
 func (k Kind) String() string {

@@ -1,0 +1,252 @@
+package tls
+
+import (
+	"fmt"
+	"sort"
+
+	"subthreads/internal/cache"
+	"subthreads/internal/mem"
+)
+
+// The paranoid-mode protocol auditor. With Config.Paranoid set, the engine
+// re-derives its core invariants from scratch after every protocol event
+// (epoch start, sub-thread start, squash application, commit):
+//
+//   - commit order: live epochs strictly ordered by ID, one per slot, every
+//     slot in range, every CurCtx within the configured context count;
+//   - context bounds: no SL bit, SM word mask, or ctxLines entry may refer
+//     to a context later than its epoch's CurCtx (a freed context) or to an
+//     epoch that is no longer live;
+//   - version occupancy: every speculative version resident in the L2 or the
+//     victim cache is owned by a live (epoch, context) with matching SM
+//     state, and no version is resident in both structures at once. The
+//     converse (SM bits without a resident version) is legal: under
+//     OverflowStall a refused insert leaves the modification mask set while
+//     the epoch stalls;
+//   - latches: every held latch names a live holder that records the hold in
+//     a still-live context.
+//
+// The first violation is latched; the simulator polls AuditErr each cycle
+// and abandons the run with a structured error. The audit is a full state
+// scan, so paranoid mode costs time proportional to live speculative state —
+// it is a validation tool, not a fast path.
+
+// AuditError describes the first protocol-invariant failure a paranoid run
+// detected: the protocol event being processed when the state went bad, the
+// invariant that broke, and the offending state.
+type AuditError struct {
+	Event     string
+	Invariant string
+	Detail    string
+}
+
+func (e *AuditError) Error() string {
+	return fmt.Sprintf("tls: audit at %s: %s: %s", e.Event, e.Invariant, e.Detail)
+}
+
+// AuditErr returns the first invariant failure detected by paranoid mode,
+// or nil.
+func (g *Engine) AuditErr() error { return g.auditErr }
+
+// audit runs the full invariant scan after a protocol event, latching the
+// first failure. It is a no-op unless Config.Paranoid is set; once an error
+// is latched the (now inconsistent) state is not re-scanned.
+func (g *Engine) audit(event string) {
+	if !g.cfg.Paranoid || g.auditErr != nil {
+		return
+	}
+	g.auditErr = g.runAudit(event)
+}
+
+func (g *Engine) runAudit(event string) error {
+	fail := func(invariant, format string, args ...any) error {
+		return &AuditError{Event: event, Invariant: invariant, Detail: fmt.Sprintf(format, args...)}
+	}
+
+	// Commit-order and per-epoch context bounds.
+	byID := make(map[uint64]*Epoch, len(g.order))
+	slots := make(map[int]uint64, len(g.order))
+	for i, e := range g.order {
+		if i > 0 && e.ID <= g.order[i-1].ID {
+			return fail("commit-order monotonicity",
+				"epoch %d ordered after epoch %d", e.ID, g.order[i-1].ID)
+		}
+		if e.Slot < 0 || e.Slot >= g.cfg.CPUs {
+			return fail("slot range", "epoch %d on slot %d (of %d)", e.ID, e.Slot, g.cfg.CPUs)
+		}
+		if prev, dup := slots[e.Slot]; dup {
+			return fail("slot uniqueness",
+				"epochs %d and %d both live on slot %d", prev, e.ID, e.Slot)
+		}
+		slots[e.Slot] = e.ID
+		if e.CurCtx < 0 || e.CurCtx >= g.cfg.SubthreadsPerEpoch {
+			return fail("context bounds",
+				"epoch %d in context %d (of %d)", e.ID, e.CurCtx, g.cfg.SubthreadsPerEpoch)
+		}
+		for c := e.CurCtx + 1; c < MaxSubthreads; c++ {
+			if len(e.ctxLines[c]) != 0 {
+				return fail("freed-context cleanup",
+					"epoch %d keeps %d tracked lines in freed context %d (CurCtx %d)",
+					e.ID, len(e.ctxLines[c]), c, e.CurCtx)
+			}
+		}
+		byID[e.ID] = e
+	}
+
+	// Directory: SL bits and SM masks must belong to live epochs and live
+	// contexts. Map keys are visited in sorted order so the first failure
+	// reported is deterministic.
+	var derr error
+	g.lines.forEach(func(line mem.Addr, lm *lineMeta) {
+		if derr != nil {
+			return
+		}
+		for _, id := range sortedKeysLoad(lm.load) {
+			bits := lm.load[id]
+			ep := byID[id]
+			if ep == nil {
+				derr = fail("SL liveness",
+					"line %v holds SL bits %#x for dead epoch %d", line, bits, id)
+				return
+			}
+			if bits == 0 {
+				derr = fail("SL cleanup", "line %v keeps an empty SL entry for epoch %d", line, id)
+				return
+			}
+			if high := bits >> uint(ep.CurCtx+1); high != 0 {
+				derr = fail("SL context bounds",
+					"line %v SL bits %#x of epoch %d span freed contexts (CurCtx %d)",
+					line, bits, id, ep.CurCtx)
+				return
+			}
+		}
+		for _, id := range sortedKeysStore(lm.store) {
+			sm := lm.store[id]
+			ep := byID[id]
+			if ep == nil {
+				derr = fail("SM liveness", "line %v holds SM masks for dead epoch %d", line, id)
+				return
+			}
+			any := uint8(0)
+			for c, w := range sm {
+				any |= w
+				if w != 0 && c > ep.CurCtx {
+					derr = fail("SM context bounds",
+						"line %v SM mask %#x of epoch %d in freed context %d (CurCtx %d)",
+						line, w, id, c, ep.CurCtx)
+					return
+				}
+			}
+			if any == 0 {
+				derr = fail("SM cleanup", "line %v keeps an all-zero SM entry for epoch %d", line, id)
+				return
+			}
+		}
+	})
+	if derr != nil {
+		return derr
+	}
+
+	// Version occupancy: each resident speculative version must be owned by
+	// a live (epoch, context) that recorded matching SM state, and must live
+	// in exactly one of L2 and victim cache.
+	checkVer := func(where string, ent cache.Entry) error {
+		if ent.Ver == cache.VerCommitted {
+			return nil
+		}
+		owner, ctx := g.ownerOf(ent.Ver)
+		if owner == nil {
+			return fail("version liveness",
+				"%s holds %v owned by no live epoch", where, ent)
+		}
+		if ctx > owner.CurCtx {
+			return fail("version context bounds",
+				"%s holds %v of epoch %d context %d (CurCtx %d)",
+				where, ent, owner.ID, ctx, owner.CurCtx)
+		}
+		lm := g.lines.get(ent.Line)
+		if lm == nil || lm.store[owner.ID] == nil || lm.store[owner.ID][ctx] == 0 {
+			return fail("version accounting",
+				"%s holds %v of epoch %d context %d with no SM state",
+				where, ent, owner.ID, ctx)
+		}
+		return nil
+	}
+	var cerr error
+	g.L2.ForEach(func(ent cache.Entry) {
+		if cerr == nil {
+			cerr = checkVer("L2", ent)
+		}
+	})
+	if cerr != nil {
+		return cerr
+	}
+	g.Victim.ForEach(func(ent cache.Entry) {
+		if cerr != nil {
+			return
+		}
+		if cerr = checkVer("victim cache", ent); cerr != nil {
+			return
+		}
+		if ent.Ver != cache.VerCommitted && g.L2.Present(ent) {
+			cerr = fail("version occupancy",
+				"%v resident in both L2 and victim cache", ent)
+		}
+	})
+	if cerr != nil {
+		return cerr
+	}
+
+	// Latches: every held latch names a live holder recording the hold in a
+	// live context.
+	addrs := make([]mem.Addr, 0, len(g.latches))
+	for addr, ls := range g.latches {
+		if ls.holder != nil {
+			addrs = append(addrs, addr)
+		}
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, addr := range addrs {
+		ls := g.latches[addr]
+		if byID[ls.holder.ID] != ls.holder {
+			return fail("latch liveness",
+				"latch %v held by dead epoch %d", addr, ls.holder.ID)
+		}
+		found := false
+		for _, hl := range ls.holder.latches {
+			if hl.addr == addr {
+				found = true
+				if hl.ctx > ls.holder.CurCtx {
+					return fail("latch context bounds",
+						"latch %v held by epoch %d from freed context %d (CurCtx %d)",
+						addr, ls.holder.ID, hl.ctx, ls.holder.CurCtx)
+				}
+				break
+			}
+		}
+		if !found {
+			return fail("latch accounting",
+				"latch %v held by epoch %d but missing from its held list",
+				addr, ls.holder.ID)
+		}
+	}
+	return nil
+}
+
+func sortedKeysLoad(m map[uint64]uint32) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func sortedKeysStore(m map[uint64]*[MaxSubthreads]uint8) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

@@ -1,0 +1,206 @@
+package tls
+
+import (
+	"strings"
+	"testing"
+
+	"subthreads/internal/cache"
+)
+
+// The auditor tests seed protocol bugs directly into engine state — the
+// corruptions a buggy rewind, commit, or eviction path would leave behind —
+// and check that the paranoid scan names the broken invariant.
+
+func auditConfig() Config {
+	cfg := smallConfig()
+	cfg.Paranoid = true
+	return cfg
+}
+
+// expectAudit runs the invariant scan and requires a failure naming the
+// given invariant.
+func expectAudit(t *testing.T, g *Engine, invariant string) {
+	t.Helper()
+	err := g.runAudit("test")
+	if err == nil {
+		t.Fatalf("corrupted engine passed the audit (want %q failure)", invariant)
+	}
+	ae, ok := err.(*AuditError)
+	if !ok {
+		t.Fatalf("audit returned %T, want *AuditError", err)
+	}
+	if ae.Invariant != invariant {
+		t.Fatalf("audit caught %q (%s), want %q", ae.Invariant, ae.Detail, invariant)
+	}
+}
+
+func TestAuditCleanEngine(t *testing.T) {
+	g := NewEngine(auditConfig())
+	e0 := g.StartEpoch(0, 0)
+	e1 := g.StartEpoch(1, 1)
+	g.Load(e1, addr(1, 0))
+	g.Store(e1, 1, addr(2, 0))
+	g.StartSubthread(e1)
+	g.Store(e1, 2, addr(3, 0))
+	g.AcquireLatch(e1, addr(4, 0))
+	g.Store(e0, 3, addr(1, 0)) // violates e1: squash path runs
+	e0.Completed = true
+	g.CommitOldest()
+	if err := g.AuditErr(); err != nil {
+		t.Fatalf("clean protocol sequence failed the audit: %v", err)
+	}
+	if err := g.runAudit("final"); err != nil {
+		t.Fatalf("final state failed the audit: %v", err)
+	}
+}
+
+func TestAuditCatchesCommitOrderInversion(t *testing.T) {
+	g := NewEngine(auditConfig())
+	g.StartEpoch(0, 0)
+	g.StartEpoch(1, 1)
+	g.order[0], g.order[1] = g.order[1], g.order[0]
+	expectAudit(t, g, "commit-order monotonicity")
+}
+
+func TestAuditCatchesSLOnFreedContext(t *testing.T) {
+	g := NewEngine(auditConfig())
+	g.StartEpoch(0, 0)
+	e1 := g.StartEpoch(1, 1)
+	a := addr(5, 0)
+	g.Load(e1, a) // SL bit in ctx 0
+	// A buggy rewind that freed contexts without clearing their SL bits:
+	lm := g.lines.get(a.Line())
+	lm.load[e1.ID] |= 1 << 3 // ctx 3 never existed (CurCtx is 0)
+	expectAudit(t, g, "SL context bounds")
+}
+
+func TestAuditCatchesSLOfDeadEpoch(t *testing.T) {
+	g := NewEngine(auditConfig())
+	g.StartEpoch(0, 0)
+	e1 := g.StartEpoch(1, 1)
+	a := addr(6, 0)
+	g.Load(e1, a)
+	lm := g.lines.get(a.Line())
+	lm.load[99] = 1 // an epoch that is not live
+	expectAudit(t, g, "SL liveness")
+}
+
+func TestAuditCatchesSMOnFreedContext(t *testing.T) {
+	g := NewEngine(auditConfig())
+	g.StartEpoch(0, 0)
+	e1 := g.StartEpoch(1, 1)
+	a := addr(7, 0)
+	g.Store(e1, 1, a) // SM word in ctx 0
+	lm := g.lines.get(a.Line())
+	lm.store[e1.ID][5] = 1 // ctx 5 was never started
+	expectAudit(t, g, "SM context bounds")
+}
+
+func TestAuditCatchesUnbackedVersion(t *testing.T) {
+	g := NewEngine(auditConfig())
+	g.StartEpoch(0, 0)
+	e1 := g.StartEpoch(1, 1)
+	a := addr(8, 0)
+	g.Store(e1, 1, a) // speculative version resident in the L2
+	// A buggy squash that dropped the SM directory state but left the
+	// version in the cache:
+	lm := g.lines.get(a.Line())
+	delete(lm.store, e1.ID)
+	expectAudit(t, g, "version accounting")
+}
+
+func TestAuditCatchesDualResidency(t *testing.T) {
+	g := NewEngine(auditConfig())
+	g.StartEpoch(0, 0)
+	e1 := g.StartEpoch(1, 1)
+	a := addr(9, 0)
+	g.Store(e1, 1, a)
+	// Duplicate the resident L2 version into the victim cache — the state a
+	// missing eviction/migration step would produce.
+	var dup bool
+	g.L2.ForEach(func(ent cache.Entry) {
+		if !dup && ent.Line == a.Line() {
+			g.Victim.Insert(ent)
+			dup = true
+		}
+	})
+	if !dup {
+		t.Fatal("stored version not resident in L2")
+	}
+	expectAudit(t, g, "version occupancy")
+}
+
+func TestAuditCatchesFreedContextLineTracking(t *testing.T) {
+	g := NewEngine(auditConfig())
+	g.StartEpoch(0, 0)
+	e1 := g.StartEpoch(1, 1)
+	g.StartSubthread(e1)
+	g.Load(e1, addr(10, 0)) // tracked in ctx 1
+	// A buggy rewind that moved CurCtx back without cleaning the context:
+	e1.CurCtx = 0
+	expectAudit(t, g, "freed-context cleanup")
+}
+
+func TestAuditCatchesDeadLatchHolder(t *testing.T) {
+	g := NewEngine(auditConfig())
+	g.StartEpoch(0, 0)
+	e1 := g.StartEpoch(1, 1)
+	l := addr(11, 0)
+	g.AcquireLatch(e1, l)
+	// Simulate a commit/abort path that forgot to release the latch.
+	g.latches[l].holder = &Epoch{ID: 99}
+	expectAudit(t, g, "latch liveness")
+}
+
+func TestAuditCatchesLatchFromFreedContext(t *testing.T) {
+	g := NewEngine(auditConfig())
+	g.StartEpoch(0, 0)
+	e1 := g.StartEpoch(1, 1)
+	g.StartSubthread(e1)
+	l := addr(12, 0)
+	g.AcquireLatch(e1, l) // acquired in ctx 1
+	// A buggy squash path that rewound the context without releasing:
+	e1.CurCtx = 0
+	expectAudit(t, g, "latch context bounds")
+}
+
+// TestAuditLatchedByProtocolEvent seeds a corruption and checks that the
+// next ordinary protocol event (not a direct scan call) latches the failure
+// for the simulator to poll.
+func TestAuditLatchedByProtocolEvent(t *testing.T) {
+	g := NewEngine(auditConfig())
+	g.StartEpoch(0, 0)
+	e1 := g.StartEpoch(1, 1)
+	a := addr(13, 0)
+	g.Load(e1, a)
+	g.lines.get(a.Line()).load[e1.ID] |= 1 << 7
+	if g.AuditErr() != nil {
+		t.Fatal("error latched before any protocol event")
+	}
+	g.StartSubthread(e1)
+	err := g.AuditErr()
+	if err == nil {
+		t.Fatal("protocol event did not latch the audit failure")
+	}
+	if !strings.Contains(err.Error(), "SL context bounds") {
+		t.Errorf("latched error = %v, want an SL context bounds failure", err)
+	}
+	// The first failure stays latched across further events.
+	g.StartSubthread(e1)
+	if got := g.AuditErr(); got != err {
+		t.Errorf("latched error changed: %v -> %v", err, got)
+	}
+}
+
+func TestAuditOffByDefault(t *testing.T) {
+	g := NewEngine(smallConfig()) // Paranoid not set
+	g.StartEpoch(0, 0)
+	e1 := g.StartEpoch(1, 1)
+	a := addr(14, 0)
+	g.Load(e1, a)
+	g.lines.get(a.Line()).load[e1.ID] |= 1 << 7
+	g.StartSubthread(e1)
+	if err := g.AuditErr(); err != nil {
+		t.Errorf("non-paranoid engine audited anyway: %v", err)
+	}
+}

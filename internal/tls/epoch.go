@@ -68,6 +68,7 @@ func (g *Engine) StartEpoch(id uint64, slot int) *Epoch {
 		startTable: make(map[uint64]*[MaxSubthreads]uint8),
 	}
 	g.order = append(g.order, e)
+	g.audit("epoch-start")
 	return e
 }
 
@@ -98,6 +99,7 @@ func (g *Engine) StartSubthread(e *Epoch) bool {
 		}
 		tbl[e.CurCtx] = uint8(ep.CurCtx)
 	}
+	g.audit("subthread-start")
 	return true
 }
 
@@ -270,6 +272,7 @@ func (g *Engine) CommitOldest() (*Epoch, []Squash) {
 		g.putSM(tbl)
 		delete(e.startTable, id)
 	}
+	g.audit("commit")
 	return e, all
 }
 

@@ -63,6 +63,20 @@ func (t *lineTab) reset() {
 	t.pages = nil
 }
 
+// forEach visits every resident directory entry in ascending line order
+// (audits and tests only — it walks every materialized page).
+func (t *lineTab) forEach(fn func(line mem.Addr, lm *lineMeta)) {
+	for p, page := range t.pages {
+		for i, lm := range page {
+			if lm == nil {
+				continue
+			}
+			idx := uint32(p)<<linePageShift | uint32(i)
+			fn(mem.Addr(idx)*mem.LineSize, lm)
+		}
+	}
+}
+
 // live counts the resident directory entries (tests and invariants only —
 // it walks every materialized page).
 func (t *lineTab) live() int {

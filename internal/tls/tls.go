@@ -55,6 +55,11 @@ type Config struct {
 	// L2 geometry and the speculative victim cache capacity (Table 1).
 	L2Sets, L2Ways int
 	VictimEntries  int
+	// Paranoid re-validates the protocol invariants (commit order, SL/SM
+	// context bounds, cache version occupancy, latch ownership) at every
+	// protocol event. The first failure is latched in AuditErr; the
+	// simulator surfaces it as a structured run error.
+	Paranoid bool
 }
 
 // OverflowPolicy selects the response to speculative-buffer exhaustion.
@@ -190,6 +195,9 @@ type Engine struct {
 	metaPool []*lineMeta
 	smPool   []*[MaxSubthreads]uint8
 
+	// auditErr latches the first paranoid-mode invariant failure.
+	auditErr error
+
 	Stats
 }
 
@@ -288,6 +296,13 @@ func classOf(e cache.Entry) int {
 // Versions owned by the oldest live epoch are committed-class and are never
 // stalled over.
 func (g *Engine) insertL2(e cache.Entry) (sqs []Squash, stall bool) {
+	if e.Ver != cache.VerCommitted && !g.L2.Present(e) {
+		// A speculative version re-entering the L2 migrates out of the
+		// victim cache: the same (line, version) must never be resident
+		// twice, or a later rewind/commit would leave a stale copy
+		// behind in whichever structure it touched second.
+		g.Victim.Remove(e)
+	}
 	if g.cfg.OverflowPolicy == OverflowStall && !g.L2.Present(e) && g.Victim.Full() {
 		if g.L2.VictimClass(e.Line, classOf) == 1 {
 			// The set is full of speculative versions and the
@@ -397,6 +412,9 @@ func (g *Engine) Load(e *Epoch, addr mem.Addr) AccessResult {
 		lm.load[e.ID] |= bit
 		e.addLine(e.CurCtx, line)
 	}
+	if g.cfg.Paranoid && len(res.Squashes) > 0 {
+		g.audit("load")
+	}
 	return res
 }
 
@@ -462,6 +480,9 @@ func (g *Engine) Store(e *Epoch, pc isa.PC, addr mem.Addr) AccessResult {
 		sqs, stall := g.insertL2(cache.Entry{Line: line, Ver: verOf(e, e.CurCtx)})
 		res.Squashes = append(res.Squashes, sqs...)
 		res.Stall = stall
+		if g.cfg.Paranoid && len(res.Squashes) > 0 {
+			g.audit("store")
+		}
 		return res
 	}
 
@@ -470,9 +491,12 @@ func (g *Engine) Store(e *Epoch, pc isa.PC, addr mem.Addr) AccessResult {
 		res.Squashes = g.applySquashes(set)
 		sqs, _ := g.insertL2(cache.Entry{Line: line, Ver: cache.VerCommitted})
 		res.Squashes = append(res.Squashes, sqs...)
-		return res
+	} else {
+		res.Squashes = g.applySquashes(set)
 	}
-	res.Squashes = g.applySquashes(set)
+	if g.cfg.Paranoid && len(res.Squashes) > 0 {
+		g.audit("store")
+	}
 	return res
 }
 
@@ -492,7 +516,9 @@ func (g *Engine) ForceSquash(e *Epoch, ctx int, reason Reason) []Squash {
 	set := newSquashSet()
 	set.add(e, ctx, Squash{Epoch: e, Ctx: ctx, Reason: reason})
 	g.addSecondaries(set, e, ctx)
-	return g.applySquashes(set)
+	sqs := g.applySquashes(set)
+	g.audit("force-squash")
+	return sqs
 }
 
 // ProducerWrote reports whether any live epoch logically earlier than e has

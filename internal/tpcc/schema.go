@@ -128,6 +128,10 @@ type DB struct {
 	// cross-epoch dependence the tuning process cannot remove.
 	aggBase    mem.Addr
 	aggBuckets int
+
+	// lastOut collects the most recent transaction's client-visible
+	// result values (see LastOutput) for the differential oracle.
+	lastOut []int64
 }
 
 // Key encodings (single warehouse).

@@ -118,6 +118,7 @@ func (em *emitter) finish() []Segment {
 // execution would — the simulator's job is to preserve precisely these
 // semantics under speculation.
 func (d *DB) RunTxn(in Input, mode Mode) []Segment {
+	d.lastOut = d.lastOut[:0]
 	switch in.Bench {
 	case NewOrder, NewOrder150:
 		return d.newOrder(in, mode)
@@ -168,6 +169,7 @@ func (d *DB) newOrder(in Input, mode Mode) []Segment {
 	d.NewOrder.Insert(c, OrderKey(in.D, oid), norow)
 	prevLast, hadLast := d.lastOrder[CustKey(in.D, in.C)]
 	d.lastOrder[CustKey(in.D, in.C)] = oid
+	d.out(oid, int64(len(in.Items)))
 
 	for li, req := range in.Items {
 		ic := em.beginIter()
@@ -187,6 +189,7 @@ func (d *DB) newOrder(in Input, mode Mode) []Segment {
 			} else {
 				delete(d.lastOrder, CustKey(in.D, in.C))
 			}
+			d.out(-1) // rolled back
 			return em.finish()
 		}
 		price := irow.ReadField(ic, IPrice)
@@ -218,6 +221,7 @@ func (d *DB) newOrder(in Input, mode Mode) []Segment {
 		olrow.Fields[OLQty] = int64(req.Qty)
 		olrow.WriteField(ic, OLAmount, amount)
 		d.OrderLine.Insert(ic, OLKey(in.D, oid, li+1), olrow)
+		d.out(amount, newq)
 
 		em.endIter(ic)
 	}
@@ -268,6 +272,7 @@ func (d *DB) payment(in Input, mode Mode) []Segment {
 	crow.WriteField(c, CBalance, crow.Fields[CBalance]-100)
 	crow.WriteField(c, CYtdPayment, crow.Fields[CYtdPayment]+100)
 	crow.WriteField(c, CPaymentCnt, crow.Fields[CPaymentCnt]+1)
+	d.out(int64(chosen), crow.Fields[CBalance])
 	c.Work("sql.payment.history", sqlRow)
 	d.histSeq++
 	hrow := d.Env.NewRow(c, 2)
@@ -298,11 +303,13 @@ func (d *DB) orderStatus(in Input, mode Mode) []Segment {
 	c = em.endLoop()
 	chosen := cands[len(cands)/2]
 	oid, hasOrder := d.lastOrder[CustKey(in.D, chosen)]
+	d.out(int64(chosen))
 	c.Work("sql.orderstatus.order", 12000)
 	if hasOrder {
 		orow, ok := d.Order.Get(c, OrderKey(in.D, oid))
 		if ok {
 			nl := orow.ReadField(c, OOLCnt)
+			d.out(oid, nl)
 			orow.ReadField(c, OCarrierID)
 			for l := int64(1); l <= nl; l++ {
 				olrow, ok := d.OrderLine.Get(c, OLKey(in.D, oid, int(l)))
@@ -350,6 +357,7 @@ func (d *DB) delivery(in Input, mode Mode, outer bool) []Segment {
 		if oid < 0 {
 			// No undelivered orders: skip the district (the TPC-C
 			// "skipped delivery" case).
+			d.out(-1)
 			dc.Work("sql.delivery.skip", 400)
 			if outer {
 				em.endIter(dc)
@@ -399,6 +407,7 @@ func (d *DB) delivery(in Input, mode Mode, outer bool) []Segment {
 		}
 		crow.WriteField(dc, CBalance, crow.Fields[CBalance]+sum)
 		crow.WriteField(dc, CDeliveryCnt, crow.Fields[CDeliveryCnt]+1)
+		d.out(oid, cid, sum)
 
 		if outer {
 			em.endIter(dc)
@@ -468,6 +477,7 @@ func (d *DB) stockLevel(in Input, mode Mode) []Segment {
 		c.EmitALU(6)
 	}
 	c.Work("sql.stocklevel.count", 2000+len(distinct)*20)
+	d.out(int64(len(distinct)))
 	c.Commit()
 	return em.finish()
 }

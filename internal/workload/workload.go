@@ -59,6 +59,15 @@ type Built struct {
 	Stats   Stats
 	PCs     *isa.PCRegistry
 	Env     *db.Env
+
+	// Digest is the FNV-1a hash of the final database state after the
+	// full (warm-up + measured) transaction stream, and Outputs the
+	// client-visible result values of each measured transaction. Both are
+	// functional — independent of software mode and memory layout — so
+	// the flat/serial and TLS-transformed builds of one spec must agree;
+	// the differential oracle (internal/check) compares them.
+	Digest  uint64
+	Outputs [][]int64
 }
 
 // Build loads a fresh database and records the benchmark's transaction
@@ -99,7 +108,9 @@ func Build(spec Spec, sequential bool) *Built {
 	st := &b.Stats
 	st.Txns = spec.Txns
 	for _, in := range inputs[spec.Warmup:] {
-		for _, seg := range database.RunTxn(in, mode) {
+		segs := database.RunTxn(in, mode)
+		b.Outputs = append(b.Outputs, database.LastOutput())
+		for _, seg := range segs {
 			b.Program.Units = append(b.Program.Units, sim.Unit{
 				Trace:   seg.Trace,
 				Barrier: !seg.Iter,
@@ -118,6 +129,7 @@ func Build(spec Spec, sequential bool) *Built {
 		st.AvgThreadSize = float64(st.IterInstrs) / float64(st.Epochs)
 	}
 	st.ThreadsPerTxn = float64(st.Epochs) / float64(st.Txns)
+	b.Digest = env.StateDigest()
 	return b
 }
 
