@@ -29,8 +29,8 @@ import (
 	"strings"
 	"time"
 
+	"subthreads/internal/cliflags"
 	"subthreads/internal/db"
-	"subthreads/internal/inject"
 	"subthreads/internal/report"
 	"subthreads/internal/sim"
 	"subthreads/internal/tls"
@@ -75,21 +75,22 @@ func main() {
 	flag.Int64Var(&opts.seed, "seed", 42, "input generation seed")
 	flag.BoolVar(&opts.paper, "paper", false, "use the full single-warehouse TPC-C scale")
 	flag.StringVar(&opts.bench, "benchmark", "", "restrict to one benchmark (e.g. \"NEW ORDER\")")
-	flag.BoolVar(&opts.paranoid, "paranoid", false, "audit TLS protocol invariants every cycle boundary (abort on violation)")
-	flag.StringVar(&opts.inject, "inject", "", "fault injection spec, e.g. seed=1,faults=25,window=120000 (see internal/inject)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "simulations to run in parallel (output is identical for every -j)")
 	pipelineBench := flag.String("pipeline-bench", "", "measure suite runtime at -j 1 vs -j N and write a JSON report to this file")
+	showVersion := cliflags.AddVersion(flag.CommandLine)
+	faults := cliflags.AddFaults(flag.CommandLine)
 	flag.Parse()
+	cliflags.HandleVersion(*showVersion)
+	opts.paranoid = faults.Paranoid
+	opts.inject = faults.Inject
 	opts.par = newRunner(*jobs)
 	opts.par.paranoid = opts.paranoid
-	if opts.inject != "" {
-		icfg, err := inject.Parse(opts.inject)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(2)
-		}
-		opts.par.injectCfg = &icfg
+	icfg, err := faults.Config()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
 	}
+	opts.par.injectCfg = icfg
 
 	repro := "go run ./cmd/experiments " + strings.Join(os.Args[1:], " ")
 	defer func() {

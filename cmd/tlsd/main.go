@@ -1,0 +1,120 @@
+// Command tlsd is the simulation-serving daemon: a long-lived HTTP service
+// that queues, deduplicates, caches, and streams simulations of the
+// sub-threads machine. Where cmd/tlssim answers one question per process,
+// tlsd turns the simulator into infrastructure — a design-space sweep is 20
+// POSTs, repeated questions are content-addressed cache hits, and every
+// result is byte-identical to what tlssim prints for the same spec.
+//
+//	tlsd -addr :8080
+//	curl -s -X POST localhost:8080/v1/jobs \
+//	     -d '{"benchmark":"NEW ORDER","txns":4,"warmup":1}'
+//	curl -s localhost:8080/v1/jobs/job-1/result
+//	curl -N localhost:8080/v1/jobs/job-1/events
+//
+// See SERVICE.md for the full API schema. SIGINT/SIGTERM drains gracefully:
+// readiness flips, admission stops, in-flight jobs finish, then the process
+// exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"subthreads/internal/cliflags"
+	"subthreads/internal/service"
+	"subthreads/internal/version"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker-pool size")
+		queueDepth   = flag.Int("queue", 64, "admission queue capacity (full queue responds 429)")
+		maxCycles    = flag.Uint64("max-cycles", 0, "default per-job cycle budget when the spec sets none (0 = unbounded)")
+		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "how long shutdown waits for in-flight jobs")
+		benchOut     = flag.String("service-bench", "", "run the serving benchmark, write BENCH_service.json-style report to this file, and exit")
+		showVersion  = cliflags.AddVersion(flag.CommandLine)
+	)
+	// Server-wide hardening defaults, overlaid on jobs that don't set their
+	// own (and therefore part of each job's content address).
+	faults := cliflags.AddFaults(flag.CommandLine)
+	flag.Parse()
+	cliflags.HandleVersion(*showVersion)
+
+	if _, err := faults.Config(); err != nil {
+		fmt.Fprintf(os.Stderr, "tlsd: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *benchOut != "" {
+		if err := writeBench(*benchOut, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "tlsd: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *benchOut)
+		return
+	}
+
+	s := service.New(service.Options{
+		Workers:          *workers,
+		QueueDepth:       *queueDepth,
+		DefaultMaxCycles: *maxCycles,
+		Paranoid:         faults.Paranoid,
+		Inject:           faults.Inject,
+	})
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("tlsd: %s\n", version.Get())
+	fmt.Printf("tlsd: serving on http://%s (%d workers, queue %d)\n", *addr, *workers, *queueDepth)
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "tlsd: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop admission and finish in-flight jobs while the
+	// HTTP listener stays up so pollers can still collect results, then
+	// close the listener.
+	fmt.Println("tlsd: draining (admission stopped)")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := s.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "tlsd: drain incomplete: %v\n", err)
+		srv.Close()
+		os.Exit(1)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "tlsd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("tlsd: drained, bye")
+}
+
+// writeBench runs the serving benchmark (3 rounds of the sweep: one cold,
+// two through the cache) and writes the report.
+func writeBench(path string, workers int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := service.WriteBench(f, workers, 3); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -14,10 +14,9 @@ import (
 	"os"
 	"strings"
 
-	"subthreads/internal/inject"
+	"subthreads/internal/cliflags"
 	"subthreads/internal/isa"
 	"subthreads/internal/sim"
-	"subthreads/internal/telemetry"
 	"subthreads/internal/tpcc"
 	"subthreads/internal/workload"
 )
@@ -48,19 +47,19 @@ type profileJSON struct {
 
 func main() {
 	var (
-		benchName  = flag.String("benchmark", "NEW ORDER", "benchmark name")
-		txns       = flag.Int("txns", 8, "measured transactions")
-		seed       = flag.Int64("seed", 42, "input seed")
-		optLevel   = flag.Int("opt", 0, "database optimization level to profile (0 = unoptimized)")
-		top        = flag.Int("top", 15, "number of dependences to report")
-		allOrNone  = flag.Bool("all-or-nothing", false, "profile without sub-threads")
-		jsonOut    = flag.Bool("json", false, "emit the dependence profile as JSON instead of text")
-		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event timeline (ui.perfetto.dev)")
-		metricsOut = flag.String("metrics-out", "", "write a telemetry metrics snapshot as JSON")
-		paranoid   = flag.Bool("paranoid", false, "audit TLS protocol invariants every cycle boundary (abort on violation)")
-		injectSpec = flag.String("inject", "", "fault injection spec, e.g. seed=1,faults=25,window=120000 (see internal/inject)")
+		benchName   = flag.String("benchmark", "NEW ORDER", "benchmark name")
+		txns        = flag.Int("txns", 8, "measured transactions")
+		seed        = flag.Int64("seed", 42, "input seed")
+		optLevel    = flag.Int("opt", 0, "database optimization level to profile (0 = unoptimized)")
+		top         = flag.Int("top", 15, "number of dependences to report")
+		allOrNone   = flag.Bool("all-or-nothing", false, "profile without sub-threads")
+		jsonOut     = flag.Bool("json", false, "emit the dependence profile as JSON instead of text")
+		showVersion = cliflags.AddVersion(flag.CommandLine)
 	)
+	faults := cliflags.AddFaults(flag.CommandLine)
+	outputs := cliflags.AddOutputs(flag.CommandLine, "")
 	flag.Parse()
+	cliflags.HandleVersion(*showVersion)
 
 	// A failed simulation panics with a structured *sim.RunError; report it
 	// on one line with the reproducing command and exit non-zero.
@@ -87,47 +86,18 @@ func main() {
 		exp = workload.NoSubthread
 	}
 	cfg := workload.Machine(exp)
-	cfg.Paranoid = *paranoid
-	if *injectSpec != "" {
-		icfg, err := inject.Parse(*injectSpec)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tlsprof: %v\n", err)
-			os.Exit(2)
-		}
-		cfg.Inject = inject.New(icfg)
-		if cfg.WatchdogCycles == 0 {
-			cfg.WatchdogCycles = inject.DefaultWatchdog
-		}
+	if err := faults.Apply(&cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "tlsprof: %v\n", err)
+		os.Exit(2)
 	}
-
-	var buf *telemetry.Buffer
-	var metrics *telemetry.Metrics
-	if *traceOut != "" || *metricsOut != "" {
-		buf = &telemetry.Buffer{}
-		metrics = telemetry.NewMetrics()
-		cfg.Telemetry = telemetry.Multi(buf, metrics)
-	}
+	outputs.Attach(&cfg)
 
 	built := workload.Build(spec, false)
 	res := sim.Run(cfg, built.Program)
 
-	if *traceOut != "" {
-		if err := writeFile(*traceOut, func(f *os.File) error {
-			return telemetry.WriteChromeTrace(f, buf.Events, telemetry.TraceOptions{
-				SiteName: built.PCs.Name,
-			})
-		}); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-	}
-	if *metricsOut != "" {
-		if err := writeFile(*metricsOut, func(f *os.File) error {
-			return metrics.WriteJSON(f)
-		}); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	if err := outputs.Write(built.PCs.Name); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	if *jsonOut {
@@ -172,18 +142,4 @@ func main() {
 	fmt.Print(res.Pairs.Report(built.PCs, *top))
 	fmt.Println("\nTuning hint (§3.2): eliminate the top dependence in the DBMS code,")
 	fmt.Println("re-run with -opt increased, and iterate until the profile is flat.")
-}
-
-// writeFile creates path, runs write on it, and closes it, reporting the
-// first error.
-func writeFile(path string, write func(*os.File) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }

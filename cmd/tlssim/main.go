@@ -1,7 +1,8 @@
 // Command tlssim runs one benchmark on one machine configuration and prints
 // the full measurement: cycle breakdown, speedup vs. a sequential run, TLS
 // protocol statistics, and cache behaviour. It is the single-experiment
-// companion to cmd/experiments.
+// companion to cmd/experiments, and the reference output for cmd/tlsd: the
+// daemon serves byte-identical -json documents for the same spec.
 //
 // Example:
 //
@@ -10,17 +11,15 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"subthreads/internal/check"
-	"subthreads/internal/inject"
+	"subthreads/internal/cliflags"
 	"subthreads/internal/report"
 	"subthreads/internal/sim"
-	"subthreads/internal/telemetry"
 	"subthreads/internal/tls"
 	"subthreads/internal/tpcc"
 	"subthreads/internal/workload"
@@ -33,81 +32,28 @@ func repro() string {
 	return "go run ./cmd/tlssim " + strings.Join(os.Args[1:], " ")
 }
 
-// writeTrace renders the captured event stream as a Perfetto-loadable Chrome
-// trace, resolving violation PCs through the workload's site registry.
-func writeTrace(path string, events []telemetry.Event, built *workload.Built) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := telemetry.WriteChromeTrace(f, events, telemetry.TraceOptions{
-		SiteName: built.PCs.Name,
-	}); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-// writeMetrics snapshots the telemetry metrics to a JSON file.
-func writeMetrics(path string, m *telemetry.Metrics) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := m.WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-// summary is the machine-readable form of a run (-json).
-type summary struct {
-	Benchmark        string  `json:"benchmark"`
-	Experiment       string  `json:"experiment"`
-	CPUs             int     `json:"cpus"`
-	Subthreads       int     `json:"subthreads"`
-	Spacing          uint64  `json:"spacing"`
-	Cycles           uint64  `json:"cycles"`
-	SequentialCycles uint64  `json:"sequential_cycles"`
-	Speedup          float64 `json:"speedup"`
-	Busy             uint64  `json:"busy_cycles"`
-	CacheMiss        uint64  `json:"cache_miss_cycles"`
-	Sync             uint64  `json:"sync_cycles"`
-	Failed           uint64  `json:"failed_cycles"`
-	Idle             uint64  `json:"idle_cycles"`
-	Primary          uint64  `json:"primary_violations"`
-	Secondary        uint64  `json:"secondary_violations"`
-	SubthreadStarts  uint64  `json:"subthread_starts"`
-	RewoundInstrs    uint64  `json:"rewound_instrs"`
-	CommittedInstrs  uint64  `json:"committed_instrs"`
-	Epochs           int     `json:"epochs"`
-	Coverage         float64 `json:"coverage"`
-}
-
 func main() {
 	var (
-		benchName  = flag.String("benchmark", "NEW ORDER", "benchmark name (see -list)")
-		expName    = flag.String("experiment", "BASELINE", "SEQUENTIAL | TLS-SEQ | NO SUB-THREAD | BASELINE | NO SPECULATION | PREDICTOR")
-		txns       = flag.Int("txns", 8, "measured transactions")
-		warmup     = flag.Int("warmup", 2, "warm-up transactions")
-		seed       = flag.Int64("seed", 42, "input seed")
-		paper      = flag.Bool("paper", false, "full single-warehouse TPC-C scale")
-		optLevel   = flag.Int("opt", 5, "database optimization level (0-5, §3.2)")
-		subthreads = flag.Int("subthreads", 0, "override sub-thread contexts per thread")
-		spacing    = flag.Uint64("spacing", 0, "override speculative instructions per sub-thread")
-		list       = flag.Bool("list", false, "list benchmarks and experiments")
-		profTop    = flag.Int("profile", 5, "show the top-N violated dependences (§3.1)")
-		jsonOut    = flag.Bool("json", false, "emit the measurement as JSON instead of text")
-		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event timeline (ui.perfetto.dev)")
-		metricsOut = flag.String("metrics-out", "", "write a telemetry metrics snapshot as JSON")
-		paranoid   = flag.Bool("paranoid", false, "audit TLS protocol invariants every cycle boundary (abort on violation)")
-		injectSpec = flag.String("inject", "", "fault injection spec, e.g. seed=1,faults=25,window=120000 (see internal/inject)")
-		overflow   = flag.String("overflow", "", "victim-cache overflow policy: stall | squash")
-		checkRun   = flag.Bool("check", false, "verify the speculative run against the serial oracle before measuring")
+		benchName   = flag.String("benchmark", "NEW ORDER", "benchmark name (see -list)")
+		expName     = flag.String("experiment", "BASELINE", "SEQUENTIAL | TLS-SEQ | NO SUB-THREAD | BASELINE | NO SPECULATION | PREDICTOR")
+		txns        = flag.Int("txns", 8, "measured transactions")
+		warmup      = flag.Int("warmup", 2, "warm-up transactions")
+		seed        = flag.Int64("seed", 42, "input seed")
+		paper       = flag.Bool("paper", false, "full single-warehouse TPC-C scale")
+		optLevel    = flag.Int("opt", 5, "database optimization level (0-5, §3.2)")
+		subthreads  = flag.Int("subthreads", 0, "override sub-thread contexts per thread")
+		spacing     = flag.Uint64("spacing", 0, "override speculative instructions per sub-thread")
+		list        = flag.Bool("list", false, "list benchmarks and experiments")
+		profTop     = flag.Int("profile", 5, "show the top-N violated dependences (§3.1)")
+		jsonOut     = flag.Bool("json", false, "emit the measurement as JSON instead of text")
+		overflow    = flag.String("overflow", "", "victim-cache overflow policy: stall | squash")
+		checkRun    = flag.Bool("check", false, "verify the speculative run against the serial oracle before measuring")
+		showVersion = cliflags.AddVersion(flag.CommandLine)
 	)
+	faults := cliflags.AddFaults(flag.CommandLine)
+	outputs := cliflags.AddOutputs(flag.CommandLine, "")
 	flag.Parse()
+	cliflags.HandleVersion(*showVersion)
 
 	// A failed simulation (watchdog trip, audit violation, cycle-budget
 	// exhaustion) panics with a structured *sim.RunError; report it on one
@@ -146,6 +92,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (see -list)\n", *expName)
 		os.Exit(2)
 	}
+	if _, err := faults.Config(); err != nil {
+		fmt.Fprintf(os.Stderr, "tlssim: %v\n", err)
+		os.Exit(2)
+	}
 
 	spec := workload.DefaultSpec(bench)
 	spec.Txns = *txns
@@ -173,26 +123,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tlssim: -overflow must be stall or squash, not %q\n", *overflow)
 		os.Exit(2)
 	}
-	cfg.Paranoid = *paranoid
-	// Injectors are stateful (a consumed fault schedule), so build a fresh
-	// one per simulation: one for the -check pass, one for the measured run.
-	var icfg *inject.Config
-	if *injectSpec != "" {
-		c, err := inject.Parse(*injectSpec)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tlssim: %v\n", err)
-			os.Exit(2)
-		}
-		icfg = &c
-		if cfg.WatchdogCycles == 0 {
-			cfg.WatchdogCycles = inject.DefaultWatchdog
-		}
-	}
 
 	if *checkRun {
+		// Injectors are stateful (a consumed fault schedule), so Apply
+		// builds a fresh one for the -check pass and another for the
+		// measured run.
 		ccfg := cfg
-		if icfg != nil {
-			ccfg.Inject = inject.New(*icfg)
+		if err := faults.Apply(&ccfg); err != nil {
+			fmt.Fprintf(os.Stderr, "tlssim: %v\n", err)
+			os.Exit(2)
 		}
 		if err := check.Differential(spec, ccfg); err != nil {
 			fmt.Fprintf(os.Stderr, "tlssim: check failed: %v | repro: %s\n", err, repro())
@@ -200,63 +139,32 @@ func main() {
 		}
 		fmt.Printf("check:      serial oracle clean (state digest, outputs, memory image)\n")
 	}
-	if icfg != nil {
-		cfg.Inject = inject.New(*icfg)
+	if err := faults.Apply(&cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "tlssim: %v\n", err)
+		os.Exit(2)
 	}
-
-	var buf *telemetry.Buffer
-	var metrics *telemetry.Metrics
-	if *traceOut != "" || *metricsOut != "" {
-		buf = &telemetry.Buffer{}
-		metrics = telemetry.NewMetrics()
-		cfg.Telemetry = telemetry.Multi(buf, metrics)
-	}
+	outputs.Attach(&cfg)
 
 	seqRes, _ := workload.Run(spec, workload.Sequential)
 	built := workload.Build(spec, exp.SequentialSoftware())
 	res := sim.Run(cfg, built.Program)
 
-	if *traceOut != "" {
-		if err := writeTrace(*traceOut, buf.Events, built); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-	}
-	if *metricsOut != "" {
-		if err := writeMetrics(*metricsOut, metrics); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	if err := outputs.Write(built.PCs.Name); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	if *jsonOut {
-		out := summary{
-			Benchmark:        bench.String(),
-			Experiment:       exp.String(),
-			CPUs:             cfg.CPUs,
-			Subthreads:       cfg.TLS.SubthreadsPerEpoch,
-			Spacing:          cfg.SubthreadSpacing,
-			Cycles:           res.Cycles,
-			SequentialCycles: seqRes.Cycles,
-			Speedup:          res.Speedup(seqRes),
-			Busy:             res.Breakdown[sim.Busy],
-			CacheMiss:        res.Breakdown[sim.CacheMiss],
-			Sync:             res.Breakdown[sim.Sync],
-			Failed:           res.Breakdown[sim.Failed],
-			Idle:             res.Breakdown[sim.Idle],
-			Primary:          res.TLS.PrimaryViolations,
-			Secondary:        res.TLS.SecondaryViolations,
-			SubthreadStarts:  res.TLS.SubthreadStarts,
-			RewoundInstrs:    res.RewoundInstrs,
-			CommittedInstrs:  res.CommittedInstrs,
-		}
-		if built != nil {
-			out.Epochs = built.Stats.Epochs
-			out.Coverage = built.Stats.Coverage
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+		run := report.BuildRun(report.RunParams{
+			Benchmark:  bench.String(),
+			Experiment: exp.String(),
+			CPUs:       cfg.CPUs,
+			Subthreads: cfg.TLS.SubthreadsPerEpoch,
+			Spacing:    cfg.SubthreadSpacing,
+			Epochs:     built.Stats.Epochs,
+			Coverage:   built.Stats.Coverage,
+		}, res, seqRes)
+		if err := report.WriteRun(os.Stdout, run); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

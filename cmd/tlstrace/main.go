@@ -21,7 +21,7 @@ import (
 	"os"
 	"strings"
 
-	"subthreads/internal/inject"
+	"subthreads/internal/cliflags"
 	"subthreads/internal/sim"
 	"subthreads/internal/telemetry"
 	"subthreads/internal/tpcc"
@@ -30,21 +30,21 @@ import (
 
 func main() {
 	var (
-		benchName  = flag.String("benchmark", "NEW ORDER", "benchmark name")
-		expName    = flag.String("experiment", "BASELINE", "machine configuration (see tlssim -list)")
-		txns       = flag.Int("txns", 4, "measured transactions")
-		warmup     = flag.Int("warmup", 1, "warm-up transactions")
-		seed       = flag.Int64("seed", 42, "input seed")
-		optLevel   = flag.Int("opt", 0, "database optimization level (0 = unoptimized, shows violations)")
-		subthreads = flag.Int("subthreads", 0, "override sub-thread contexts per thread")
-		spacing    = flag.Uint64("spacing", 0, "override speculative instructions per sub-thread")
-		traceOut   = flag.String("trace-out", "trace.json", "Chrome trace-event output (load in ui.perfetto.dev)")
-		metricsOut = flag.String("metrics-out", "", "metrics snapshot JSON output")
-		eventsOut  = flag.String("events-out", "", "raw event stream JSONL output")
-		paranoid   = flag.Bool("paranoid", false, "audit TLS protocol invariants every cycle boundary (abort on violation)")
-		injectSpec = flag.String("inject", "", "fault injection spec, e.g. seed=1,faults=25,window=120000 (see internal/inject)")
+		benchName   = flag.String("benchmark", "NEW ORDER", "benchmark name")
+		expName     = flag.String("experiment", "BASELINE", "machine configuration (see tlssim -list)")
+		txns        = flag.Int("txns", 4, "measured transactions")
+		warmup      = flag.Int("warmup", 1, "warm-up transactions")
+		seed        = flag.Int64("seed", 42, "input seed")
+		optLevel    = flag.Int("opt", 0, "database optimization level (0 = unoptimized, shows violations)")
+		subthreads  = flag.Int("subthreads", 0, "override sub-thread contexts per thread")
+		spacing     = flag.Uint64("spacing", 0, "override speculative instructions per sub-thread")
+		eventsOut   = flag.String("events-out", "", "raw event stream JSONL output")
+		showVersion = cliflags.AddVersion(flag.CommandLine)
 	)
+	faults := cliflags.AddFaults(flag.CommandLine)
+	outputs := cliflags.AddOutputs(flag.CommandLine, "trace.json")
 	flag.Parse()
+	cliflags.HandleVersion(*showVersion)
 
 	// A failed simulation panics with a structured *sim.RunError; report it
 	// on one line with the reproducing command and exit non-zero.
@@ -85,23 +85,16 @@ func main() {
 	if *spacing > 0 {
 		cfg.SubthreadSpacing = *spacing
 	}
-	cfg.Paranoid = *paranoid
-	if *injectSpec != "" {
-		icfg, err := inject.Parse(*injectSpec)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tlstrace: %v\n", err)
-			os.Exit(2)
-		}
-		cfg.Inject = inject.New(icfg)
-		if cfg.WatchdogCycles == 0 {
-			cfg.WatchdogCycles = inject.DefaultWatchdog
-		}
+	if err := faults.Apply(&cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "tlstrace: %v\n", err)
+		os.Exit(2)
 	}
 
-	buf := &telemetry.Buffer{}
-	metrics := telemetry.NewMetrics()
-	sinks := []telemetry.Emitter{buf, metrics}
+	// tlstrace always captures the stream and metrics: they feed both the
+	// timeline and the printed counts.
+	outputs.Demand()
 	var jsonl *telemetry.JSONL
+	var extra []telemetry.Emitter
 	if *eventsOut != "" {
 		f, err := os.Create(*eventsOut)
 		if err != nil {
@@ -110,9 +103,9 @@ func main() {
 		}
 		defer f.Close()
 		jsonl = telemetry.NewJSONL(f)
-		sinks = append(sinks, jsonl)
+		extra = append(extra, jsonl)
 	}
-	cfg.Telemetry = telemetry.Multi(sinks...)
+	outputs.Attach(&cfg, extra...)
 
 	built := workload.Build(spec, exp.SequentialSoftware())
 	res := sim.Run(cfg, built.Program)
@@ -123,48 +116,20 @@ func main() {
 		}
 	}
 
-	f, err := os.Create(*traceOut)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	if err := telemetry.WriteChromeTrace(f, buf.Events, telemetry.TraceOptions{
-		SiteName: built.PCs.Name,
-	}); err == nil {
-		err = f.Close()
-	} else {
-		f.Close()
-	}
-	if err != nil {
+	if err := outputs.Write(built.PCs.Name); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
-	if *metricsOut != "" {
-		f, err := os.Create(*metricsOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := metrics.WriteJSON(f); err == nil {
-			err = f.Close()
-		} else {
-			f.Close()
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-	}
-
+	metrics := outputs.Metrics()
 	fmt.Printf("benchmark %s, %s, opt %d: %d cycles, %d epochs\n",
 		bench, exp, *optLevel, res.Cycles, res.EpochCount)
 	fmt.Printf("events:    %d (%d primary, %d secondary violations; %d sub-thread starts)\n",
-		len(buf.Events), metrics.Count(telemetry.PrimaryViolation),
+		len(outputs.Events()), metrics.Count(telemetry.PrimaryViolation),
 		metrics.Count(telemetry.SecondaryViolation), metrics.Count(telemetry.SubthreadStart))
-	fmt.Printf("timeline:  %s  (open in ui.perfetto.dev)\n", *traceOut)
-	if *metricsOut != "" {
-		fmt.Printf("metrics:   %s\n", *metricsOut)
+	fmt.Printf("timeline:  %s  (open in ui.perfetto.dev)\n", outputs.TraceOut)
+	if outputs.MetricsOut != "" {
+		fmt.Printf("metrics:   %s\n", outputs.MetricsOut)
 	}
 	if *eventsOut != "" {
 		fmt.Printf("events:    %s (JSONL)\n", *eventsOut)

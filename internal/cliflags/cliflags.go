@@ -1,0 +1,173 @@
+// Package cliflags factors the flag wiring shared by every command —
+// tlssim, tlsprof, tlstrace, experiments, and tlsd — so the hardening
+// switches (-paranoid, -inject), the telemetry captures (-trace-out,
+// -metrics-out), and -version behave identically everywhere instead of
+// being re-implemented per main.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"subthreads/internal/inject"
+	"subthreads/internal/isa"
+	"subthreads/internal/sim"
+	"subthreads/internal/telemetry"
+	"subthreads/internal/version"
+)
+
+// Faults is the hardening flag pair: the paranoid protocol auditor and the
+// deterministic fault injector.
+type Faults struct {
+	Paranoid bool
+	Inject   string
+}
+
+// AddFaults registers -paranoid and -inject on fs.
+func AddFaults(fs *flag.FlagSet) *Faults {
+	f := &Faults{}
+	fs.BoolVar(&f.Paranoid, "paranoid", false,
+		"audit TLS protocol invariants every cycle boundary (abort on violation)")
+	fs.StringVar(&f.Inject, "inject", "",
+		"fault injection spec, e.g. seed=1,faults=25,window=120000 (see internal/inject)")
+	return f
+}
+
+// Config parses the injection spec, or returns nil when injection is off.
+func (f *Faults) Config() (*inject.Config, error) {
+	if f.Inject == "" {
+		return nil, nil
+	}
+	c, err := inject.Parse(f.Inject)
+	if err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// Apply arms cfg with the selected hardening: the auditor, a fresh injector
+// (injectors are single-use — call Apply once per simulation), and the
+// default forward-progress watchdog whenever faults are injected.
+func (f *Faults) Apply(cfg *sim.Config) error {
+	cfg.Paranoid = f.Paranoid
+	ic, err := f.Config()
+	if err != nil {
+		return err
+	}
+	if ic != nil {
+		cfg.Inject = inject.New(*ic)
+		if cfg.WatchdogCycles == 0 {
+			cfg.WatchdogCycles = inject.DefaultWatchdog
+		}
+	}
+	return nil
+}
+
+// Outputs is the telemetry-capture flag pair: a Chrome trace-event timeline
+// and a metrics snapshot.
+type Outputs struct {
+	TraceOut   string
+	MetricsOut string
+
+	demand  bool
+	buf     *telemetry.Buffer
+	metrics *telemetry.Metrics
+}
+
+// AddOutputs registers -trace-out and -metrics-out on fs. traceDefault lets
+// tlstrace default to writing a timeline while the other commands default
+// to none.
+func AddOutputs(fs *flag.FlagSet, traceDefault string) *Outputs {
+	o := &Outputs{}
+	fs.StringVar(&o.TraceOut, "trace-out", traceDefault,
+		"write a Chrome trace-event timeline (ui.perfetto.dev)")
+	fs.StringVar(&o.MetricsOut, "metrics-out", "",
+		"write a telemetry metrics snapshot as JSON")
+	return o
+}
+
+// Demand forces the event buffer and metrics sinks on even when no output
+// file was requested — for commands that print live statistics regardless.
+func (o *Outputs) Demand() { o.demand = true }
+
+// Attach installs the sinks the selected outputs need on cfg.Telemetry,
+// preserving any emitter already configured; extra sinks (e.g. a JSONL
+// stream) ride along. When nothing is captured, cfg.Telemetry is left
+// untouched, keeping the zero-overhead nil-emitter path.
+func (o *Outputs) Attach(cfg *sim.Config, extra ...telemetry.Emitter) {
+	if o.TraceOut != "" || o.demand {
+		o.buf = &telemetry.Buffer{}
+	}
+	if o.MetricsOut != "" || o.demand {
+		o.metrics = telemetry.NewMetrics()
+	}
+	sinks := append([]telemetry.Emitter{cfg.Telemetry}, extra...)
+	if o.buf != nil {
+		sinks = append(sinks, o.buf)
+	}
+	if o.metrics != nil {
+		sinks = append(sinks, o.metrics)
+	}
+	cfg.Telemetry = telemetry.Multi(sinks...)
+}
+
+// Events returns the captured event stream (nil unless Attach armed the
+// buffer).
+func (o *Outputs) Events() []telemetry.Event {
+	if o.buf == nil {
+		return nil
+	}
+	return o.buf.Events
+}
+
+// Metrics returns the metrics sink (nil unless Attach armed it).
+func (o *Outputs) Metrics() *telemetry.Metrics { return o.metrics }
+
+// Write renders the requested output files, resolving instrumentation-site
+// PCs through name (may be nil).
+func (o *Outputs) Write(name func(isa.PC) string) error {
+	if o.TraceOut != "" {
+		if err := writeFile(o.TraceOut, func(f *os.File) error {
+			return telemetry.WriteChromeTrace(f, o.buf.Events, telemetry.TraceOptions{SiteName: name})
+		}); err != nil {
+			return err
+		}
+	}
+	if o.MetricsOut != "" {
+		if err := writeFile(o.MetricsOut, func(f *os.File) error {
+			return o.metrics.WriteJSON(f)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeFile creates path, runs write on it, and closes it, reporting the
+// first error.
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// AddVersion registers -version on fs.
+func AddVersion(fs *flag.FlagSet) *bool {
+	return fs.Bool("version", false, "print the build version and exit")
+}
+
+// HandleVersion prints the build identity and exits when -version was given.
+// Call it immediately after flag parsing.
+func HandleVersion(show bool) {
+	if show {
+		fmt.Println(version.Get().String())
+		os.Exit(0)
+	}
+}

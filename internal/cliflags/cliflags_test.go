@@ -1,0 +1,95 @@
+package cliflags
+
+import (
+	"flag"
+	"testing"
+
+	"subthreads/internal/inject"
+	"subthreads/internal/sim"
+	"subthreads/internal/telemetry"
+	"subthreads/internal/version"
+)
+
+func TestFaultsApply(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f := AddFaults(fs)
+	if err := fs.Parse([]string{"-paranoid", "-inject", "seed=1,faults=5,window=60000"}); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := sim.DefaultConfig()
+	if err := f.Apply(&cfg); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if !cfg.Paranoid {
+		t.Error("-paranoid not applied")
+	}
+	if cfg.Inject == nil {
+		t.Error("-inject built no injector")
+	}
+	if cfg.WatchdogCycles != inject.DefaultWatchdog {
+		t.Errorf("watchdog = %d, want the injection default %d", cfg.WatchdogCycles, inject.DefaultWatchdog)
+	}
+
+	// Injectors are single-use: a second Apply must arm a fresh one.
+	cfg2 := sim.DefaultConfig()
+	if err := f.Apply(&cfg2); err != nil {
+		t.Fatalf("second Apply: %v", err)
+	}
+	if cfg2.Inject == cfg.Inject {
+		t.Error("Apply reused a consumed injector")
+	}
+}
+
+func TestFaultsBadSpec(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f := AddFaults(fs)
+	if err := fs.Parse([]string{"-inject", "gibberish"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Config(); err == nil {
+		t.Error("Config accepted an unparsable -inject spec")
+	}
+	cfg := sim.DefaultConfig()
+	if err := f.Apply(&cfg); err == nil {
+		t.Error("Apply accepted an unparsable -inject spec")
+	}
+}
+
+func TestOutputsAttachPreservesExistingSink(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	o := AddOutputs(fs, "")
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	o.Demand() // force capture even with no -trace-out/-metrics-out
+
+	existing := &telemetry.Buffer{}
+	cfg := sim.DefaultConfig()
+	cfg.Telemetry = existing
+	o.Attach(&cfg)
+
+	cfg.Telemetry.Emit(telemetry.Event{Cycle: 7})
+	if got := len(existing.Events); got != 1 {
+		t.Errorf("pre-existing sink saw %d events, want 1", got)
+	}
+	if got := len(o.Events()); got != 1 {
+		t.Errorf("demanded capture saw %d events, want 1", got)
+	}
+	if o.Metrics() == nil {
+		t.Error("Demand did not force the metrics layer")
+	}
+}
+
+func TestVersionString(t *testing.T) {
+	v := version.Get()
+	if v.Module != "subthreads" {
+		t.Errorf("module = %q, want subthreads", v.Module)
+	}
+	if v.Go == "" || v.Version == "" {
+		t.Errorf("incomplete build identity: %+v", v)
+	}
+	if s := v.String(); s == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,127 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// BenchReport is the serving-layer benchmark artifact (BENCH_service.json):
+// throughput of a repeated sweep through the full HTTP-free serving path
+// (queue, workers, digest cache), and the cold-vs-hit latency split that
+// justifies the content-addressed cache.
+type BenchReport struct {
+	Workers       int     `json:"workers"`
+	QueueCapacity int     `json:"queue_capacity"`
+	DistinctSpecs int     `json:"distinct_specs"`
+	Rounds        int     `json:"rounds"`
+	Jobs          int     `json:"jobs"`
+	WallMS        float64 `json:"wall_ms"`
+	JobsPerSec    float64 `json:"jobs_per_sec"`
+
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	// ColdLatencyMS is the mean submit-to-done wall time of a simulated
+	// job; HitLatencyMicros the mean lookup time of a cache-hit submission.
+	ColdLatencyMS    float64 `json:"cold_latency_ms"`
+	HitLatencyMicros float64 `json:"hit_latency_micros"`
+	// DistinctBuilds counts workload builds performed by the shared build
+	// cache (at most 2 per distinct spec: TLS + sequential).
+	DistinctBuilds int `json:"distinct_builds"`
+}
+
+// benchSpecs is the repeated sweep: a small design-space slice (sub-thread
+// count x spacing over two benchmarks) shaped like the paper's Figure 6
+// cells, sized to finish in seconds.
+func benchSpecs() []JobSpec {
+	warmup, seed := 1, int64(42)
+	var specs []JobSpec
+	for _, bench := range []string{"NEW ORDER", "STOCK LEVEL"} {
+		for _, sub := range []int{2, 4, 8} {
+			specs = append(specs, JobSpec{
+				Benchmark:  bench,
+				Txns:       3,
+				Warmup:     &warmup,
+				Seed:       &seed,
+				Subthreads: sub,
+			})
+		}
+	}
+	return specs
+}
+
+// RunBench drives a fresh in-process server through rounds repetitions of
+// the sweep (round 1 cold, the rest cache hits) with workers workers, and
+// returns the measured report.
+func RunBench(workers, rounds int) (BenchReport, error) {
+	specs := benchSpecs()
+	s := New(Options{Workers: workers, QueueDepth: len(specs) * rounds})
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, len(specs)*rounds)
+	for round := 0; round < rounds; round++ {
+		for _, spec := range specs {
+			j, _, err := s.Submit(spec)
+			if err != nil {
+				return BenchReport{}, err
+			}
+			wg.Add(1)
+			go func(j *Job) {
+				defer wg.Done()
+				<-j.Done()
+				if j.State() != StateDone {
+					errs <- fmt.Errorf("service: bench job %s failed", j.ID())
+				}
+			}(j)
+		}
+		// Let each later round hit the result cache rather than racing the
+		// first round's in-flight jobs into dedup.
+		if round == 0 {
+			wg.Wait()
+		}
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return BenchReport{}, err
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		return BenchReport{}, err
+	}
+
+	m := s.MetricsSnapshot()
+	total := len(specs) * rounds
+	rep := BenchReport{
+		Workers:          m.Workers,
+		QueueCapacity:    m.QueueCapacity,
+		DistinctSpecs:    len(specs),
+		Rounds:           rounds,
+		Jobs:             total,
+		WallMS:           float64(wall.Microseconds()) / 1000,
+		JobsPerSec:       float64(total) / wall.Seconds(),
+		CacheHits:        m.CacheHits + m.DedupedInFlight,
+		CacheMisses:      m.CacheMisses,
+		CacheHitRatio:    m.CacheHitRatio,
+		ColdLatencyMS:    m.ColdLatencyMicros.Mean / 1000,
+		HitLatencyMicros: m.HitLatencyMicros.Mean,
+		DistinctBuilds:   s.Builds(),
+	}
+	return rep, nil
+}
+
+// WriteBench runs the benchmark and writes the report as indented JSON.
+func WriteBench(w io.Writer, workers, rounds int) error {
+	rep, err := RunBench(workers, rounds)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

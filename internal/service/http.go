@@ -1,0 +1,230 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"subthreads/internal/telemetry"
+	"subthreads/internal/version"
+)
+
+// httpMux is the server's route table (Go 1.22 pattern syntax).
+type httpMux = *http.ServeMux
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /v1/jobs                submit a JobSpec (JSON body)
+//	GET  /v1/jobs/{id}           job status
+//	GET  /v1/jobs/{id}/result    the result document (tlssim -json bytes)
+//	GET  /v1/jobs/{id}/events    live telemetry stream (Server-Sent Events)
+//	GET  /healthz                liveness + build version
+//	GET  /readyz                 readiness (503 while draining)
+//	GET  /metrics                serving metrics snapshot (JSON)
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+}
+
+// maxSpecBytes bounds a submission body; real specs are a few hundred bytes.
+const maxSpecBytes = 1 << 20
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit admits a job. Responses:
+//
+//	200  digest hit on a completed job — the cached result body, verbatim
+//	202  admitted (or attached to an in-flight duplicate) — job status
+//	400  invalid spec
+//	429  queue full (Retry-After set)
+//	503  draining
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	j, hit, err := s.Submit(spec)
+	switch {
+	case err == nil:
+	case err == ErrQueueFull:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "queue full (capacity %d); retry later", s.opts.QueueDepth)
+		return
+	case err == ErrDraining:
+		writeError(w, http.StatusServiceUnavailable, "draining: admission stopped")
+		return
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	w.Header().Set("X-Job-Id", j.ID())
+	w.Header().Set("X-Job-Digest", j.Digest())
+	if hit && j.State() == StateDone {
+		// Content-addressed fast path: the stored body, byte-identical to
+		// the run that produced it (and to tlssim -json for this spec).
+		w.Header().Set("X-Cache", "hit")
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(j.Result())
+		return
+	}
+	if hit {
+		w.Header().Set("X-Cache", "dedup")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	writeJSON(w, http.StatusAccepted, j.StatusAt(time.Now()))
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) *Job {
+	id := r.PathValue("id")
+	j, ok := s.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return nil
+	}
+	return j
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.job(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.StatusAt(time.Now()))
+	}
+}
+
+// handleResult serves the result document. Responses:
+//
+//	200  done — the document
+//	202  still queued/running — job status
+//	410  failed — job status with the structured failure
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	switch j.State() {
+	case StateDone:
+		w.Header().Set("X-Job-Digest", j.Digest())
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(j.Result())
+	case StateFailed:
+		writeJSON(w, http.StatusGone, j.StatusAt(time.Now()))
+	default:
+		writeJSON(w, http.StatusAccepted, j.StatusAt(time.Now()))
+	}
+}
+
+// handleEvents streams the job's telemetry as Server-Sent Events: each
+// protocol event as `event: telemetry` with a JSON data line, then a final
+// `event: done` carrying the terminal status. Late subscribers replay the
+// full stream; the connection closes when the stream completes or the
+// client goes away.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Job-Id", j.ID())
+	w.WriteHeader(http.StatusOK)
+
+	fmt.Fprintf(w, "event: job\ndata: {\"id\":%q,\"digest\":%q}\n\n", j.ID(), j.Digest())
+	flusher.Flush()
+
+	sub := j.Events().Subscribe()
+	defer sub.Cancel()
+	enc := json.NewEncoder(sseData{w})
+	for {
+		evs, done := sub.Next()
+		for i := range evs {
+			w.Write([]byte("event: telemetry\n"))
+			enc.Encode(&evs[i]) // writes "data: {...}\n"
+			w.Write([]byte("\n"))
+		}
+		if len(evs) > 0 {
+			flusher.Flush()
+		}
+		if done {
+			st := j.StatusAt(time.Now())
+			w.Write([]byte("event: done\n"))
+			enc.Encode(st)
+			w.Write([]byte("\n"))
+			flusher.Flush()
+			return
+		}
+		select {
+		case <-sub.Wait():
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// sseData prefixes every JSON document with the SSE "data: " field name.
+// json.Encoder terminates each document with '\n', completing the line.
+type sseData struct{ w http.ResponseWriter }
+
+func (d sseData) Write(p []byte) (int, error) {
+	if _, err := d.w.Write([]byte("data: ")); err != nil {
+		return 0, err
+	}
+	return d.w.Write(p)
+}
+
+// health is the /healthz document.
+type health struct {
+	Status  string       `json:"status"`
+	Version version.Info `json:"version"`
+	Jobs    uint64       `json:"jobs_submitted"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	n := s.submitted
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, health{Status: "ok", Version: version.Get(), Jobs: n})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+}
+
+// Interface checks: the fan-out sink must remain a telemetry emitter.
+var _ telemetry.Emitter = (*telemetry.Fanout)(nil)

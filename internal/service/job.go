@@ -1,0 +1,157 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"subthreads/internal/telemetry"
+)
+
+// State is a job's lifecycle position. Jobs move strictly
+// queued -> running -> done | failed.
+type State string
+
+const (
+	// StateQueued: admitted, waiting for a worker.
+	StateQueued State = "queued"
+	// StateRunning: a worker is simulating it.
+	StateRunning State = "running"
+	// StateDone: finished; the result body is cached and servable.
+	StateDone State = "done"
+	// StateFailed: the simulation ended with a structured error (watchdog,
+	// audit, cycle budget); the failure is in the status, the daemon lives.
+	StateFailed State = "failed"
+)
+
+// Failure is the job-status form of a *sim.RunError: what kind of failure,
+// when, and the exact CLI command that reproduces it.
+type Failure struct {
+	Kind  string `json:"kind"`
+	Cycle uint64 `json:"cycle"`
+	Error string `json:"error"`
+	Repro string `json:"repro"`
+}
+
+// Job is one admitted simulation. All mutable state is behind mu; the
+// identity fields (id, spec, resolved form, fan-out sink) are set at
+// creation and never change.
+type Job struct {
+	id  string
+	res *Resolved
+
+	// fan retains the job's full telemetry stream and feeds the SSE
+	// endpoint; it is closed when the job finishes, completing the stream.
+	fan *telemetry.Fanout
+
+	// done is closed when the job reaches a terminal state.
+	done chan struct{}
+
+	mu        sync.Mutex
+	spec      JobSpec
+	state     State
+	submitted time.Time
+	finished  time.Time
+	body      []byte
+	failure   *Failure
+}
+
+func newJob(id string, spec JobSpec, r *Resolved, now time.Time) *Job {
+	return &Job{
+		id:        id,
+		res:       r,
+		fan:       telemetry.NewFanout(),
+		done:      make(chan struct{}),
+		spec:      spec,
+		state:     StateQueued,
+		submitted: now,
+	}
+}
+
+// ID returns the job identifier.
+func (j *Job) ID() string { return j.id }
+
+// Digest returns the job's content address.
+func (j *Job) Digest() string { return j.res.Digest }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Events returns the job's telemetry fan-out (live during the run, complete
+// and closed afterwards).
+func (j *Job) Events() *telemetry.Fanout { return j.fan }
+
+// State returns the current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Result returns the rendered result body, or nil unless the job is done.
+func (j *Job) Result() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.body
+}
+
+// setRunning transitions queued -> running.
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.mu.Unlock()
+}
+
+// finish records the terminal state, closes the done channel, and completes
+// the telemetry stream.
+func (j *Job) finish(body []byte, failure *Failure, now time.Time) {
+	j.mu.Lock()
+	if failure != nil {
+		j.state = StateFailed
+		j.failure = failure
+	} else {
+		j.state = StateDone
+		j.body = body
+	}
+	j.finished = now
+	j.mu.Unlock()
+	j.fan.Close()
+	close(j.done)
+}
+
+// Status is the JSON view of a job (GET /v1/jobs/{id}).
+type Status struct {
+	ID     string  `json:"id"`
+	State  State   `json:"state"`
+	Digest string  `json:"digest"`
+	Spec   JobSpec `json:"spec"`
+	// Submitted is when the job was admitted (RFC 3339, UTC).
+	Submitted string `json:"submitted"`
+	// ElapsedMS is queue+run wall time so far (or total, once terminal).
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Failure carries the structured error of a failed job.
+	Failure *Failure `json:"failure,omitempty"`
+	// ResultURL / EventsURL are the job's other endpoints.
+	ResultURL string `json:"result_url"`
+	EventsURL string `json:"events_url"`
+}
+
+// StatusAt renders the job's status as of now.
+func (j *Job) StatusAt(now time.Time) Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	end := now
+	if !j.finished.IsZero() {
+		end = j.finished
+	}
+	return Status{
+		ID:        j.id,
+		State:     j.state,
+		Digest:    j.res.Digest,
+		Spec:      j.spec,
+		Submitted: j.submitted.UTC().Format(time.RFC3339Nano),
+		ElapsedMS: float64(end.Sub(j.submitted).Microseconds()) / 1000,
+		Failure:   j.failure,
+		ResultURL: "/v1/jobs/" + j.id + "/result",
+		EventsURL: "/v1/jobs/" + j.id + "/events",
+	}
+}

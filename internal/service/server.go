@@ -1,0 +1,377 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"subthreads/internal/inject"
+	"subthreads/internal/report"
+	"subthreads/internal/sim"
+	"subthreads/internal/telemetry"
+	"subthreads/internal/workload"
+)
+
+// Options sizes the daemon.
+type Options struct {
+	// Workers is the simulation worker-pool size; default GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the FIFO admission queue; default 64. A full
+	// queue rejects submissions (HTTP 429) instead of buffering without
+	// bound — backpressure is the service's overload story.
+	QueueDepth int
+	// DefaultMaxCycles caps jobs that set no cycle budget of their own
+	// (the server-wide deadline); 0 leaves them unbounded.
+	DefaultMaxCycles uint64
+	// Paranoid forces the protocol invariant auditor on every job.
+	Paranoid bool
+	// Inject is a server-wide fault-injection spec applied to jobs that
+	// carry none — the chaos-mode default for soak testing the daemon.
+	Inject string
+}
+
+// ErrQueueFull rejects a submission because the admission queue is at
+// capacity; the HTTP layer maps it to 429 + Retry-After.
+var ErrQueueFull = errors.New("service: queue full")
+
+// ErrDraining rejects a submission because the server is shutting down; the
+// HTTP layer maps it to 503.
+var ErrDraining = errors.New("service: draining")
+
+// BadSpecError wraps a spec validation failure (HTTP 400).
+type BadSpecError struct{ Err error }
+
+func (e *BadSpecError) Error() string { return e.Err.Error() }
+func (e *BadSpecError) Unwrap() error { return e.Err }
+
+// Server is the simulation service: it admits JobSpecs into a bounded FIFO
+// queue, runs them on a fixed worker pool sharing one workload build cache,
+// content-addresses every result, and serves job state over HTTP (see
+// http.go). Create with New; stop with Shutdown.
+type Server struct {
+	opts    Options
+	builder *workload.Builder
+	mux     httpMux
+	started time.Time
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	nextID   uint64
+	jobs     map[string]*Job
+	byDigest map[string]*Job
+
+	// Metrics (guarded by mu). Latencies reuse the telemetry histogram so
+	// /metrics speaks the same snapshot schema as the simulator's metrics.
+	submitted   uint64
+	completed   uint64
+	failed      uint64
+	cacheHits   uint64 // digest hit on a completed job: result served as-is
+	deduped     uint64 // digest hit on a queued/running job: attached, no new work
+	cacheMisses uint64
+	rejected    uint64
+	inFlight    int
+	coldMicros  telemetry.Histogram // submit -> terminal, simulated jobs
+	hitMicros   telemetry.Histogram // lookup time of cache-hit submissions
+}
+
+// New starts a server: the worker pool is live on return. The caller owns
+// shutdown via Shutdown.
+func New(opts Options) *Server {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	s := &Server{
+		opts:     opts,
+		builder:  workload.NewBuilder(),
+		started:  time.Now(),
+		queue:    make(chan *Job, opts.QueueDepth),
+		jobs:     make(map[string]*Job),
+		byDigest: make(map[string]*Job),
+	}
+	s.routes()
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// normalize overlays the server-wide defaults a spec didn't set itself.
+// This happens before Resolve, so the overlays are part of the digest —
+// content addresses always name exactly what was simulated.
+func (s *Server) normalize(spec JobSpec) JobSpec {
+	if s.opts.Paranoid {
+		spec.Paranoid = true
+	}
+	if spec.Inject == "" {
+		spec.Inject = s.opts.Inject
+	}
+	if spec.MaxCycles == 0 {
+		spec.MaxCycles = s.opts.DefaultMaxCycles
+	}
+	return spec
+}
+
+// Submit admits a spec. On a digest hit it returns the existing job —
+// completed (a cache hit: the stored result serves without re-simulation)
+// or still in flight (deduplicated: the submission attaches to the one run)
+// — otherwise it enqueues a new job. hit reports whether the job already
+// existed. Errors: *BadSpecError, ErrQueueFull, ErrDraining.
+func (s *Server) Submit(spec JobSpec) (j *Job, hit bool, err error) {
+	spec = s.normalize(spec)
+	start := time.Now()
+	r, err := spec.Resolve()
+	if err != nil {
+		return nil, false, &BadSpecError{Err: err}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.submitted++
+	// A failed job never serves as a hit (its digest claim is dropped on
+	// failure; the state check covers the window before the drop).
+	if prev := s.byDigest[r.Digest]; prev != nil && prev.State() != StateFailed {
+		if prev.State() == StateDone {
+			s.cacheHits++
+			s.hitMicros.Observe(uint64(time.Since(start).Microseconds()))
+		} else {
+			s.deduped++
+		}
+		return prev, true, nil
+	}
+	if s.draining {
+		return nil, false, ErrDraining
+	}
+	s.cacheMisses++
+	s.nextID++
+	j = newJob("job-"+strconv.FormatUint(s.nextID, 10), spec, r, start)
+	select {
+	case s.queue <- j:
+	default:
+		s.rejected++
+		s.cacheMisses-- // never admitted; keep the hit ratio honest
+		return nil, false, ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	s.byDigest[r.Digest] = j
+	return j, false, nil
+}
+
+// Job looks a job up by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Draining reports whether admission has stopped.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown stops admission (readiness flips immediately), drains every
+// queued and in-flight job, and stops the worker pool. It returns nil once
+// drained, or ctx's error if the deadline expires first (workers then
+// finish in the background).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// worker drains the queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// testHookRunning, when set, is called by runJob after the job enters
+// StateRunning and before the simulation starts — the seam the tests use to
+// hold a worker in flight deterministically. Atomic so a test can clear it
+// without synchronizing with every worker.
+var testHookRunning atomic.Pointer[func(*Job)]
+
+// runJob executes one job end to end and publishes its terminal state.
+func (s *Server) runJob(j *Job) {
+	j.setRunning()
+	s.mu.Lock()
+	s.inFlight++
+	s.mu.Unlock()
+
+	if hook := testHookRunning.Load(); hook != nil {
+		(*hook)(j)
+	}
+	body, failure := s.execute(j)
+	finished := time.Now()
+	j.finish(body, failure, finished)
+
+	s.mu.Lock()
+	s.inFlight--
+	if failure != nil {
+		s.failed++
+		// A failed run is not a servable result: drop its digest claim so
+		// a resubmission retries instead of replaying the failure forever.
+		if s.byDigest[j.res.Digest] == j {
+			delete(s.byDigest, j.res.Digest)
+		}
+	} else {
+		s.completed++
+	}
+	s.coldMicros.Observe(uint64(finished.Sub(j.submitted).Microseconds()))
+	s.mu.Unlock()
+}
+
+// execute runs the simulation for j and renders the result document — the
+// exact bytes `tlssim -json` prints for the same spec. A structured
+// *sim.RunError (and, defensively, any other panic) becomes a Failure; the
+// daemon never dies with a job.
+func (s *Server) execute(j *Job) (body []byte, failure *Failure) {
+	defer func() {
+		if p := recover(); p != nil {
+			if re, ok := p.(*sim.RunError); ok {
+				failure = s.failureFrom(j, re)
+				return
+			}
+			failure = &Failure{
+				Kind:  "panic",
+				Error: fmt.Sprint(p),
+				Repro: j.res.ReproCommand(),
+			}
+		}
+	}()
+
+	r := j.res
+	cfg := r.Cfg
+	if r.Inject != nil {
+		// Injectors are single-use: arm a fresh schedule per run.
+		cfg.Inject = inject.New(*r.Inject)
+	}
+	cfg.Telemetry = j.fan
+
+	built := s.builder.Build(r.Spec, r.Exp.SequentialSoftware())
+	res, err := sim.RunE(cfg, built.Program)
+	if err != nil {
+		var re *sim.RunError
+		if errors.As(err, &re) {
+			return nil, s.failureFrom(j, re)
+		}
+		return nil, &Failure{Kind: "error", Error: err.Error(), Repro: r.ReproCommand()}
+	}
+	seqBuilt := s.builder.Build(r.Spec, true)
+	seqRes := sim.Run(workload.Machine(workload.Sequential), seqBuilt.Program)
+
+	run := report.BuildRun(report.RunParams{
+		Benchmark:  r.Spec.Bench.String(),
+		Experiment: r.Exp.String(),
+		CPUs:       cfg.CPUs,
+		Subthreads: cfg.TLS.SubthreadsPerEpoch,
+		Spacing:    cfg.SubthreadSpacing,
+		Epochs:     built.Stats.Epochs,
+		Coverage:   built.Stats.Coverage,
+	}, res, seqRes)
+	var buf bytes.Buffer
+	if err := report.WriteRun(&buf, run); err != nil {
+		return nil, &Failure{Kind: "encode", Error: err.Error(), Repro: r.ReproCommand()}
+	}
+	return buf.Bytes(), nil
+}
+
+func (s *Server) failureFrom(j *Job, re *sim.RunError) *Failure {
+	return &Failure{
+		Kind:  re.Kind,
+		Cycle: re.Cycle,
+		Error: re.Error(),
+		Repro: j.res.ReproCommand(),
+	}
+}
+
+// Metrics is the /metrics snapshot: queue pressure, worker occupancy, cache
+// effectiveness, job outcomes, and latency distributions (microseconds,
+// telemetry histogram schema).
+type Metrics struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Workers       int     `json:"workers"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueCapacity int     `json:"queue_capacity"`
+	InFlight      int     `json:"in_flight"`
+
+	JobsSubmitted uint64 `json:"jobs_submitted"`
+	JobsCompleted uint64 `json:"jobs_completed"`
+	JobsFailed    uint64 `json:"jobs_failed"`
+	JobsRejected  uint64 `json:"jobs_rejected_queue_full"`
+
+	CacheEntries    int     `json:"cache_entries"`
+	CacheHits       uint64  `json:"cache_hits"`
+	CacheMisses     uint64  `json:"cache_misses"`
+	DedupedInFlight uint64  `json:"deduped_in_flight"`
+	CacheHitRatio   float64 `json:"cache_hit_ratio"`
+
+	ColdLatencyMicros telemetry.HistogramSnapshot `json:"cold_latency_micros"`
+	HitLatencyMicros  telemetry.HistogramSnapshot `json:"cache_hit_latency_micros"`
+}
+
+// MetricsSnapshot captures the current serving metrics.
+func (s *Server) MetricsSnapshot() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := Metrics{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Workers:       s.opts.Workers,
+		QueueDepth:    len(s.queue),
+		QueueCapacity: s.opts.QueueDepth,
+		InFlight:      s.inFlight,
+
+		JobsSubmitted: s.submitted,
+		JobsCompleted: s.completed,
+		JobsFailed:    s.failed,
+		JobsRejected:  s.rejected,
+
+		CacheEntries:    len(s.byDigest),
+		CacheHits:       s.cacheHits,
+		CacheMisses:     s.cacheMisses,
+		DedupedInFlight: s.deduped,
+
+		ColdLatencyMicros: s.coldMicros.Snapshot(),
+		HitLatencyMicros:  s.hitMicros.Snapshot(),
+	}
+	if served := m.CacheHits + m.DedupedInFlight + m.CacheMisses; served > 0 {
+		m.CacheHitRatio = float64(m.CacheHits+m.DedupedInFlight) / float64(served)
+	}
+	return m
+}
+
+// Builds reports how many distinct workload builds the shared cache has
+// performed (test instrumentation).
+func (s *Server) Builds() int { return s.builder.Builds() }

@@ -1,0 +1,227 @@
+// Package service is the simulation-serving layer behind cmd/tlsd: a job
+// model over the simulator, a bounded FIFO queue with backpressure, a
+// GOMAXPROCS-sized worker pool sharing one workload build cache, a
+// content-addressed result cache keyed by the canonical digest of each
+// resolved run, and per-job telemetry fan-out for live event streaming.
+//
+// The serving contract is byte-level reproducibility: a job's result body
+// is rendered through the same report.Run pipeline as `tlssim -json`, so
+// the daemon, the CLI, and the cache all agree on the exact bytes for one
+// spec — which is what makes content addressing sound.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"subthreads/internal/db"
+	"subthreads/internal/inject"
+	"subthreads/internal/sim"
+	"subthreads/internal/tls"
+	"subthreads/internal/tpcc"
+	"subthreads/internal/workload"
+)
+
+// JobSpec is the wire form of one simulation request (POST /v1/jobs). Each
+// field mirrors the matching cmd/tlssim flag and takes the same default
+// when omitted, so every job has a direct CLI repro command. Pointer fields
+// distinguish "omitted" from an explicit zero.
+type JobSpec struct {
+	// Benchmark names the workload (tlssim -list); required.
+	Benchmark string `json:"benchmark"`
+	// Experiment is the machine/software configuration; default BASELINE.
+	Experiment string `json:"experiment,omitempty"`
+	// Txns is the measured transaction count; default 8.
+	Txns int `json:"txns,omitempty"`
+	// Warmup is the warm-up transaction count; default 2.
+	Warmup *int `json:"warmup,omitempty"`
+	// Seed is the input seed; default 42.
+	Seed *int64 `json:"seed,omitempty"`
+	// Opt is the database optimization level; default fully optimized.
+	Opt *int `json:"opt,omitempty"`
+	// Paper selects the full single-warehouse TPC-C scale.
+	Paper bool `json:"paper,omitempty"`
+	// Subthreads overrides the sub-thread contexts per thread (0 = keep
+	// the experiment's value).
+	Subthreads int `json:"subthreads,omitempty"`
+	// Spacing overrides the speculative instructions per sub-thread.
+	Spacing uint64 `json:"spacing,omitempty"`
+	// Overflow selects the victim-cache overflow policy: "stall"|"squash".
+	Overflow string `json:"overflow,omitempty"`
+	// Paranoid enables the protocol invariant auditor for this job.
+	Paranoid bool `json:"paranoid,omitempty"`
+	// Inject is a fault-injection spec (see internal/inject).
+	Inject string `json:"inject,omitempty"`
+	// MaxCycles is the job's hard cycle budget (its deadline, mapped onto
+	// sim.Config.MaxCycles); 0 inherits the server default.
+	MaxCycles uint64 `json:"max_cycles,omitempty"`
+	// Watchdog bounds cycles without a commit (sim.Config.WatchdogCycles).
+	Watchdog uint64 `json:"watchdog_cycles,omitempty"`
+}
+
+// Resolved is a fully-determined simulation: every default applied, the
+// machine configured, and the content address computed. Cfg's runtime
+// fields (Telemetry, Oracle, Inject) are left nil — the worker arms them
+// per run, and they never participate in the digest.
+type Resolved struct {
+	Spec   workload.Spec
+	Exp    workload.Experiment
+	Cfg    sim.Config
+	Inject *inject.Config
+	// Digest is the content address of the run: the SHA-256 of the
+	// canonical JSON encoding of (workload spec, experiment, machine
+	// configuration, injection schedule). Two JobSpecs that resolve to the
+	// same simulation share a digest regardless of which fields were
+	// spelled out.
+	Digest string
+}
+
+// Resolve validates the spec, applies tlssim's defaults, and computes the
+// content address.
+func (js JobSpec) Resolve() (*Resolved, error) {
+	bench, err := tpcc.Parse(js.Benchmark)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	expName := js.Experiment
+	if expName == "" {
+		expName = workload.Baseline.String()
+	}
+	exp := workload.Experiment(-1)
+	for e := workload.Experiment(0); e < workload.NumExperiments; e++ {
+		if e.String() == expName {
+			exp = e
+		}
+	}
+	if exp < 0 {
+		return nil, fmt.Errorf("service: unknown experiment %q", expName)
+	}
+
+	spec := workload.DefaultSpec(bench)
+	if js.Txns != 0 {
+		spec.Txns = js.Txns
+	}
+	if spec.Txns < 1 {
+		return nil, fmt.Errorf("service: txns must be >= 1, got %d", spec.Txns)
+	}
+	if js.Warmup != nil {
+		spec.Warmup = *js.Warmup
+	}
+	if spec.Warmup < 0 {
+		return nil, fmt.Errorf("service: warmup must be >= 0, got %d", spec.Warmup)
+	}
+	if js.Seed != nil {
+		spec.Seed = *js.Seed
+	}
+	if js.Opt != nil {
+		spec.OptLevel = *js.Opt
+	}
+	if spec.OptLevel < 0 || spec.OptLevel >= db.NumOptLevels {
+		return nil, fmt.Errorf("service: opt must be in [0, %d], got %d", db.NumOptLevels-1, spec.OptLevel)
+	}
+	if js.Paper {
+		spec.Scale = tpcc.PaperScale()
+	}
+
+	cfg := workload.Machine(exp)
+	if js.Subthreads > 0 {
+		cfg.TLS.SubthreadsPerEpoch = js.Subthreads
+	}
+	if js.Spacing > 0 {
+		cfg.SubthreadSpacing = js.Spacing
+	}
+	switch js.Overflow {
+	case "":
+	case "stall":
+		cfg.TLS.OverflowPolicy = tls.OverflowStall
+	case "squash":
+		cfg.TLS.OverflowPolicy = tls.OverflowSquash
+	default:
+		return nil, fmt.Errorf("service: overflow must be stall or squash, not %q", js.Overflow)
+	}
+	cfg.Paranoid = js.Paranoid
+	cfg.MaxCycles = js.MaxCycles
+	cfg.WatchdogCycles = js.Watchdog
+
+	var icfg *inject.Config
+	if js.Inject != "" {
+		c, err := inject.Parse(js.Inject)
+		if err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+		icfg = &c
+		if cfg.WatchdogCycles == 0 {
+			cfg.WatchdogCycles = inject.DefaultWatchdog
+		}
+	}
+
+	r := &Resolved{Spec: spec, Exp: exp, Cfg: cfg, Inject: icfg}
+	r.Digest = r.digest()
+	return r, nil
+}
+
+// canonicalRun is the digest pre-image. It embeds the full resolved machine
+// configuration so any future semantic Config field automatically joins the
+// content address; the runtime-only interface fields are nil'd before
+// hashing.
+type canonicalRun struct {
+	Spec       workload.Spec  `json:"spec"`
+	Experiment string         `json:"experiment"`
+	Config     sim.Config     `json:"config"`
+	Inject     *inject.Config `json:"inject,omitempty"`
+}
+
+// digest computes the content address of the resolved run.
+func (r *Resolved) digest() string {
+	c := canonicalRun{Spec: r.Spec, Experiment: r.Exp.String(), Config: r.Cfg, Inject: r.Inject}
+	c.Config.Telemetry = nil
+	c.Config.Oracle = nil
+	c.Config.Inject = nil
+	b, err := json.Marshal(c)
+	if err != nil {
+		// All digested fields are plain data; failure here is a
+		// programming error, not an input error.
+		panic(fmt.Sprintf("service: canonical encoding failed: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// ReproCommand is the cmd/tlssim invocation that reproduces this job —
+// attached to every structured failure so a daemon-side watchdog trip or
+// audit abort is one paste away from a local debugger.
+func (r *Resolved) ReproCommand() string {
+	args := []string{
+		"go", "run", "./cmd/tlssim",
+		"-benchmark", strconv.Quote(r.Spec.Bench.String()),
+		"-experiment", strconv.Quote(r.Exp.String()),
+		"-txns", strconv.Itoa(r.Spec.Txns),
+		"-warmup", strconv.Itoa(r.Spec.Warmup),
+		"-seed", strconv.FormatInt(r.Spec.Seed, 10),
+		"-opt", strconv.Itoa(r.Spec.OptLevel),
+	}
+	if r.Spec.Scale == tpcc.PaperScale() {
+		args = append(args, "-paper")
+	}
+	if r.Cfg.TLS.SubthreadsPerEpoch != workload.Machine(r.Exp).TLS.SubthreadsPerEpoch {
+		args = append(args, "-subthreads", strconv.Itoa(r.Cfg.TLS.SubthreadsPerEpoch))
+	}
+	if r.Cfg.SubthreadSpacing != workload.Machine(r.Exp).SubthreadSpacing {
+		args = append(args, "-spacing", strconv.FormatUint(r.Cfg.SubthreadSpacing, 10))
+	}
+	if r.Cfg.TLS.OverflowPolicy == tls.OverflowSquash {
+		args = append(args, "-overflow", "squash")
+	}
+	if r.Cfg.Paranoid {
+		args = append(args, "-paranoid")
+	}
+	if r.Inject != nil {
+		args = append(args, "-inject", strconv.Quote(r.Inject.String()))
+	}
+	args = append(args, "-json")
+	return strings.Join(args, " ")
+}

@@ -1,0 +1,136 @@
+package telemetry
+
+import "sync"
+
+// Fanout is a concurrency-safe emitter that retains the full event stream
+// of one run and fans it out to any number of subscribers — the sink behind
+// the serving daemon's per-job SSE stream (internal/service). The simulator
+// emits from a worker goroutine while subscribers drain from HTTP handler
+// goroutines; late subscribers replay the history from the beginning, so a
+// stream opened after the run finished still delivers every event.
+//
+// Unlike the single-goroutine sinks (Buffer, Ring, JSONL), every method is
+// safe for concurrent use.
+type Fanout struct {
+	mu     sync.Mutex
+	events []Event
+	closed bool
+	subs   map[*FanoutSub]struct{}
+}
+
+// NewFanout returns an empty, open fan-out sink.
+func NewFanout() *Fanout {
+	return &Fanout{subs: make(map[*FanoutSub]struct{})}
+}
+
+// Emit implements Emitter: it appends the event and wakes every subscriber.
+// Events emitted after Close are dropped — a complete stream never grows, so
+// a subscriber that observed completion has seen everything.
+func (f *Fanout) Emit(ev Event) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.events = append(f.events, ev)
+	for s := range f.subs {
+		s.wake()
+	}
+	f.mu.Unlock()
+}
+
+// Close marks the stream complete — the run is over, no further events will
+// arrive — and wakes every subscriber so it can observe completion. Close is
+// idempotent.
+func (f *Fanout) Close() {
+	f.mu.Lock()
+	f.closed = true
+	for s := range f.subs {
+		s.wake()
+	}
+	f.mu.Unlock()
+}
+
+// Closed reports whether the stream is complete.
+func (f *Fanout) Closed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.closed
+}
+
+// Len reports how many events the stream holds so far.
+func (f *Fanout) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.events)
+}
+
+// Events returns a snapshot copy of the stream so far.
+func (f *Fanout) Events() []Event {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Event(nil), f.events...)
+}
+
+// Subscribe returns a cursor over the stream starting at the beginning.
+// Cancel it when done to release the wake channel.
+func (f *Fanout) Subscribe() *FanoutSub {
+	s := &FanoutSub{f: f, ch: make(chan struct{}, 1)}
+	f.mu.Lock()
+	f.subs[s] = struct{}{}
+	if len(f.events) > 0 || f.closed {
+		s.wake()
+	}
+	f.mu.Unlock()
+	return s
+}
+
+// FanoutSub is one subscription: a cursor plus a coalesced wake channel.
+type FanoutSub struct {
+	f      *Fanout
+	ch     chan struct{}
+	cursor int
+}
+
+// wake signals the subscriber without blocking; pending signals coalesce.
+func (s *FanoutSub) wake() {
+	select {
+	case s.ch <- struct{}{}:
+	default:
+	}
+}
+
+// Wait returns the wake channel: it receives (coalesced) whenever events
+// arrive past the cursor or the stream closes. The idiom is
+//
+//	for {
+//		evs, done := sub.Next()
+//		... deliver evs ...
+//		if done { return }
+//		select {
+//		case <-sub.Wait():
+//		case <-ctx.Done():
+//			return
+//		}
+//	}
+func (s *FanoutSub) Wait() <-chan struct{} { return s.ch }
+
+// Next drains the events past the cursor (a copy, possibly empty) and
+// reports whether the stream is both complete and fully drained.
+func (s *FanoutSub) Next() (evs []Event, done bool) {
+	s.f.mu.Lock()
+	defer s.f.mu.Unlock()
+	if s.cursor < len(s.f.events) {
+		evs = append([]Event(nil), s.f.events[s.cursor:]...)
+		s.cursor = len(s.f.events)
+	}
+	return evs, s.f.closed && s.cursor == len(s.f.events)
+}
+
+// Cancel removes the subscription. Further Next calls still work (the
+// retained stream is shared) but no more wakes are delivered.
+func (s *FanoutSub) Cancel() {
+	s.f.mu.Lock()
+	delete(s.f.subs, s)
+	s.f.mu.Unlock()
+}

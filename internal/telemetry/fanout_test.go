@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func fanoutDrain(sub *FanoutSub) []Event {
+	var got []Event
+	for {
+		evs, done := sub.Next()
+		got = append(got, evs...)
+		if done {
+			return got
+		}
+		<-sub.Wait()
+	}
+}
+
+func TestFanoutDeliversInOrder(t *testing.T) {
+	f := NewFanout()
+	sub := f.Subscribe()
+	for i := 0; i < 100; i++ {
+		f.Emit(Event{Cycle: uint64(i)})
+	}
+	f.Close()
+	got := fanoutDrain(sub)
+	if len(got) != 100 {
+		t.Fatalf("delivered %d events, want 100", len(got))
+	}
+	for i, e := range got {
+		if e.Cycle != uint64(i) {
+			t.Fatalf("event %d has cycle %d: order not preserved", i, e.Cycle)
+		}
+	}
+}
+
+func TestFanoutLateSubscriberReplaysFromStart(t *testing.T) {
+	f := NewFanout()
+	for i := 0; i < 10; i++ {
+		f.Emit(Event{Cycle: uint64(i)})
+	}
+	f.Close()
+
+	// Subscribing after close still yields the whole retained stream.
+	sub := f.Subscribe()
+	got := fanoutDrain(sub)
+	if len(got) != 10 || got[0].Cycle != 0 || got[9].Cycle != 9 {
+		t.Fatalf("late subscriber saw %d events (first %v), want full replay", len(got), got)
+	}
+}
+
+func TestFanoutConcurrentEmitAndSubscribe(t *testing.T) {
+	const emitters, perEmitter, subscribers = 4, 250, 8
+	f := NewFanout()
+
+	var wg sync.WaitGroup
+	results := make([][]Event, subscribers)
+	for i := 0; i < subscribers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = fanoutDrain(f.Subscribe())
+		}(i)
+	}
+
+	var emit sync.WaitGroup
+	for e := 0; e < emitters; e++ {
+		emit.Add(1)
+		go func(e int) {
+			defer emit.Done()
+			for i := 0; i < perEmitter; i++ {
+				f.Emit(Event{CPU: e, Cycle: uint64(i)})
+			}
+		}(e)
+	}
+	emit.Wait()
+	f.Close()
+	wg.Wait()
+
+	want := f.Events()
+	if len(want) != emitters*perEmitter {
+		t.Fatalf("retained %d events, want %d", len(want), emitters*perEmitter)
+	}
+	for i, got := range results {
+		if len(got) != len(want) {
+			t.Fatalf("subscriber %d saw %d events, want %d", i, len(got), len(want))
+		}
+		// Every subscriber sees the one retained order, whatever it is.
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("subscriber %d diverges from retained order at %d", i, k)
+			}
+		}
+	}
+}
+
+func TestFanoutCloseIsIdempotentAndEmitAfterCloseDrops(t *testing.T) {
+	f := NewFanout()
+	f.Emit(Event{Cycle: 1})
+	f.Close()
+	f.Close()
+	f.Emit(Event{Cycle: 2}) // dropped: the stream is complete
+	if !f.Closed() {
+		t.Error("Closed() = false after Close")
+	}
+	if f.Len() != 1 {
+		t.Errorf("Len() = %d after post-close emit, want 1", f.Len())
+	}
+	if got := fanoutDrain(f.Subscribe()); len(got) != 1 || got[0].Cycle != 1 {
+		t.Errorf("drained %v, want the single pre-close event", got)
+	}
+}
+
+func TestFanoutCancelStopsDelivery(t *testing.T) {
+	f := NewFanout()
+	sub := f.Subscribe()
+	f.Emit(Event{Cycle: 1})
+	sub.Cancel()
+	// A cancelled subscriber must not deadlock emitters or Close.
+	f.Emit(Event{Cycle: 2})
+	f.Close()
+	if f.Len() != 2 {
+		t.Errorf("Len() = %d, want 2", f.Len())
+	}
+}

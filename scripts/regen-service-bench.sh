@@ -1,0 +1,12 @@
+#!/bin/sh
+# Regenerates BENCH_service.json, the serving-daemon benchmark artifact:
+# throughput of a repeated design-space sweep through the full serving path
+# (bounded queue, worker pool, shared build cache, content-addressed result
+# cache), the cold vs cache-hit latency split, the hit ratio, and the
+# distinct-build count.
+#
+# Extra flags are passed through, e.g.:
+#   scripts/regen-service-bench.sh -workers 4
+set -e
+cd "$(dirname "$0")/.."
+exec go run ./cmd/tlsd -service-bench BENCH_service.json "$@"

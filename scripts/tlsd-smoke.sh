@@ -1,0 +1,99 @@
+#!/bin/sh
+# End-to-end smoke test of the serving daemon (CI "tlsd smoke" step):
+# start tlsd, submit the baseline job over HTTP, poll it to completion, and
+# require the served result to be byte-identical to `tlssim -json` for the
+# same spec; resubmit to require a content-addressed cache hit; then SIGTERM
+# the daemon and require a clean drain (exit 0).
+set -e
+cd "$(dirname "$0")/.."
+
+ADDR=127.0.0.1:18080
+SPEC='{"benchmark":"NEW ORDER","experiment":"BASELINE","txns":3,"warmup":1}'
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/tlsd" ./cmd/tlsd
+go build -o "$TMP/tlssim" ./cmd/tlssim
+
+"$TMP/tlsd" -addr "$ADDR" >"$TMP/tlsd.log" 2>&1 &
+TLSD_PID=$!
+
+# Wait for readiness.
+for i in $(seq 1 100); do
+    if curl -fsS "http://$ADDR/readyz" >/dev/null 2>&1; then
+        break
+    fi
+    if [ "$i" = 100 ]; then
+        echo "tlsd-smoke: daemon never became ready" >&2
+        cat "$TMP/tlsd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# Submit, extract the job id, poll to a terminal state.
+curl -fsS -X POST "http://$ADDR/v1/jobs" -d "$SPEC" >"$TMP/submit.json"
+JOB=$(sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' "$TMP/submit.json" | head -1)
+if [ -z "$JOB" ]; then
+    echo "tlsd-smoke: no job id in submit response:" >&2
+    cat "$TMP/submit.json" >&2
+    exit 1
+fi
+for i in $(seq 1 600); do
+    STATE=$(curl -fsS "http://$ADDR/v1/jobs/$JOB" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p' | head -1)
+    [ "$STATE" = "done" ] && break
+    if [ "$STATE" = "failed" ]; then
+        echo "tlsd-smoke: job failed:" >&2
+        curl -fsS "http://$ADDR/v1/jobs/$JOB" >&2
+        exit 1
+    fi
+    if [ "$i" = 600 ]; then
+        echo "tlsd-smoke: job never finished (state=$STATE)" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# The serving contract: served bytes == tlssim -json bytes.
+curl -fsS "http://$ADDR/v1/jobs/$JOB/result" >"$TMP/served.json"
+"$TMP/tlssim" -benchmark "NEW ORDER" -experiment "BASELINE" -txns 3 -warmup 1 -json >"$TMP/cli.json"
+if ! cmp -s "$TMP/served.json" "$TMP/cli.json"; then
+    echo "tlsd-smoke: served result differs from tlssim -json" >&2
+    diff "$TMP/cli.json" "$TMP/served.json" >&2 || true
+    exit 1
+fi
+
+# Resubmitting the same spec must be a content-addressed cache hit serving
+# the identical bytes without re-simulation.
+curl -fsS -D "$TMP/hit.hdr" -X POST "http://$ADDR/v1/jobs" -d "$SPEC" >"$TMP/hit.json"
+if ! grep -qi '^X-Cache: hit' "$TMP/hit.hdr"; then
+    echo "tlsd-smoke: resubmission was not a cache hit:" >&2
+    cat "$TMP/hit.hdr" >&2
+    exit 1
+fi
+if ! cmp -s "$TMP/hit.json" "$TMP/cli.json"; then
+    echo "tlsd-smoke: cache-hit body differs from tlssim -json" >&2
+    exit 1
+fi
+curl -fsS "http://$ADDR/metrics" | grep -q '"cache_hits": 1' || {
+    echo "tlsd-smoke: /metrics does not show the cache hit" >&2
+    curl -fsS "http://$ADDR/metrics" >&2
+    exit 1
+}
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$TLSD_PID"
+STATUS=0
+wait "$TLSD_PID" || STATUS=$?
+if [ "$STATUS" != 0 ]; then
+    echo "tlsd-smoke: daemon exited $STATUS on SIGTERM" >&2
+    cat "$TMP/tlsd.log" >&2
+    exit 1
+fi
+grep -q 'drained, bye' "$TMP/tlsd.log" || {
+    echo "tlsd-smoke: no clean-drain message in log" >&2
+    cat "$TMP/tlsd.log" >&2
+    exit 1
+}
+
+echo "tlsd-smoke: ok (job $JOB byte-identical, cache hit, clean drain)"

@@ -37,8 +37,18 @@ import (
 	"subthreads/internal/telemetry"
 	"subthreads/internal/tpcc"
 	"subthreads/internal/trace"
+	"subthreads/internal/version"
 	"subthreads/internal/workload"
 )
+
+// VersionInfo is the build identity of the running binary: module version,
+// VCS revision, and toolchain.
+type VersionInfo = version.Info
+
+// Version reports the module version and VCS revision the Go toolchain
+// embedded in this binary (runtime/debug.ReadBuildInfo). All five commands
+// surface it via -version, and the serving daemon via GET /healthz.
+func Version() VersionInfo { return version.Get() }
 
 // Trace-construction types, for building custom speculative threads.
 type (
@@ -148,6 +158,9 @@ type (
 	TelemetryBuffer = telemetry.Buffer
 	// TelemetryRing keeps only the most recent events.
 	TelemetryRing = telemetry.Ring
+	// TelemetryFanout retains a run's stream and fans it out to concurrent
+	// subscribers (the sink behind tlsd's live SSE event streams).
+	TelemetryFanout = telemetry.Fanout
 	// TelemetryMetrics aggregates events into counters and histograms.
 	TelemetryMetrics = telemetry.Metrics
 	// ChromeTraceOptions configures the Perfetto timeline exporter.
@@ -158,6 +171,9 @@ type (
 
 // NewTelemetryRing returns a ring sink holding the last n events.
 func NewTelemetryRing(n int) *TelemetryRing { return telemetry.NewRing(n) }
+
+// NewTelemetryFanout returns an empty, open fan-out sink.
+func NewTelemetryFanout() *TelemetryFanout { return telemetry.NewFanout() }
 
 // NewTelemetryMetrics returns an empty metrics aggregator.
 func NewTelemetryMetrics() *TelemetryMetrics { return telemetry.NewMetrics() }
