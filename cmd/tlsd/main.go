@@ -21,9 +21,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
@@ -41,6 +43,11 @@ func main() {
 		maxCycles    = flag.Uint64("max-cycles", 0, "default per-job cycle budget when the spec sets none (0 = unbounded)")
 		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "how long shutdown waits for in-flight jobs")
 		benchOut     = flag.String("service-bench", "", "run the serving benchmark, write BENCH_service.json-style report to this file, and exit")
+		logFormat    = flag.String("log-format", "text", "structured log encoding: text or json")
+		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+		debugAddr    = flag.String("debug-addr", "", "listen address for the diagnostics server (pprof, /debug/requests); empty disables it")
+		flightDir    = flag.String("flight-dir", filepath.Join(os.TempDir(), "tlsd-flight"), "directory for failure flight-recorder dumps; empty disables the recorder")
+		flightEvents = flag.Int("flight-events", 4096, "telemetry events retained per job for the flight recorder")
 		showVersion  = cliflags.AddVersion(flag.CommandLine)
 	)
 	// Server-wide hardening defaults, overlaid on jobs that don't set their
@@ -63,12 +70,21 @@ func main() {
 		return
 	}
 
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlsd: %v\n", err)
+		os.Exit(2)
+	}
+
 	s := service.New(service.Options{
 		Workers:          *workers,
 		QueueDepth:       *queueDepth,
 		DefaultMaxCycles: *maxCycles,
 		Paranoid:         faults.Paranoid,
 		Inject:           faults.Inject,
+		Logger:           logger,
+		FlightDir:        *flightDir,
+		FlightEvents:     *flightEvents,
 	})
 	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
 
@@ -77,6 +93,18 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
+	if *debugAddr != "" {
+		// The diagnostics surface (pprof + /debug/requests) lives on its own
+		// opt-in listener so profiling never shares the public port.
+		dbg := &http.Server{Addr: *debugAddr, Handler: s.DebugHandler()}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug server stopped", slog.String("error", err.Error()))
+			}
+		}()
+		defer dbg.Close()
+		fmt.Printf("tlsd: debug surface on http://%s (pprof, /debug/requests)\n", *debugAddr)
+	}
 	fmt.Printf("tlsd: %s\n", version.Get())
 	fmt.Printf("tlsd: serving on http://%s (%d workers, queue %d)\n", *addr, *workers, *queueDepth)
 
@@ -103,6 +131,24 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("tlsd: drained, bye")
+}
+
+// newLogger builds the daemon's structured logger on stderr, so the log
+// stream never mixes with the human status lines on stdout.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %v", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q: want text or json", format)
+	}
 }
 
 // writeBench runs the serving benchmark (3 rounds of the sweep: one cold,

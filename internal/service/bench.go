@@ -29,6 +29,15 @@ type BenchReport struct {
 	// job; HitLatencyMicros the mean lookup time of a cache-hit submission.
 	ColdLatencyMS    float64 `json:"cold_latency_ms"`
 	HitLatencyMicros float64 `json:"hit_latency_micros"`
+	// The cold path broken down by pipeline stage (mean milliseconds per
+	// executed job): queue wait, workload build (TLS + sequential),
+	// simulation (TLS + sequential reference), and result rendering. The
+	// same distributions back the tlsd_job_stage_latency_microseconds
+	// histograms on /metrics.
+	QueueWaitMS     float64 `json:"queue_wait_ms"`
+	BuildLatencyMS  float64 `json:"build_latency_ms"`
+	SimLatencyMS    float64 `json:"sim_latency_ms"`
+	RenderLatencyMS float64 `json:"render_latency_ms"`
 	// DistinctBuilds counts workload builds performed by the shared build
 	// cache (at most 2 per distinct spec: TLS + sequential).
 	DistinctBuilds int `json:"distinct_builds"`
@@ -110,6 +119,10 @@ func RunBench(workers, rounds int) (BenchReport, error) {
 		CacheHitRatio:    m.CacheHitRatio,
 		ColdLatencyMS:    m.ColdLatencyMicros.Mean / 1000,
 		HitLatencyMicros: m.HitLatencyMicros.Mean,
+		QueueWaitMS:      m.QueueWaitMicros.Mean / 1000,
+		BuildLatencyMS:   m.BuildLatencyMicros.Mean / 1000,
+		SimLatencyMS:     m.SimLatencyMicros.Mean / 1000,
+		RenderLatencyMS:  m.RenderLatencyMicros.Mean / 1000,
 		DistinctBuilds:   s.Builds(),
 	}
 	return rep, nil

@@ -3,7 +3,9 @@ package service
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"strings"
 	"time"
 
 	"subthreads/internal/telemetry"
@@ -13,7 +15,8 @@ import (
 // httpMux is the server's route table (Go 1.22 pattern syntax).
 type httpMux = *http.ServeMux
 
-// Handler returns the daemon's HTTP API:
+// Handler returns the daemon's HTTP API, wrapped in the observability
+// middleware (per-request correlation IDs + structured access logging):
 //
 //	POST /v1/jobs                submit a JobSpec (JSON body)
 //	GET  /v1/jobs/{id}           job status
@@ -21,8 +24,81 @@ type httpMux = *http.ServeMux
 //	GET  /v1/jobs/{id}/events    live telemetry stream (Server-Sent Events)
 //	GET  /healthz                liveness + build version
 //	GET  /readyz                 readiness (503 while draining)
-//	GET  /metrics                serving metrics snapshot (JSON)
-func (s *Server) Handler() http.Handler { return s.mux }
+//	GET  /metrics                serving metrics snapshot (JSON, or
+//	                             Prometheus text under Accept: text/plain)
+//
+// Every route declares its method, so a wrong-method request is a uniform
+// 405 with an Allow header, and every response names its Content-Type.
+func (s *Server) Handler() http.Handler { return s.observed(s.mux) }
+
+// observed wraps next with the observability middleware: it accepts or
+// generates the X-Correlation-ID, echoes it on the response, threads it
+// through the request context into job admission, and writes one structured
+// access-log line per request (method, path, status, bytes, latency,
+// correlation ID). With logging disabled the middleware still maintains the
+// correlation contract.
+func (s *Server) observed(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		corr := sanitizeCorrelation(r.Header.Get(CorrelationHeader))
+		if corr == "" {
+			corr = NewCorrelationID()
+		}
+		w.Header().Set(CorrelationHeader, corr)
+		r = r.WithContext(withCorrelation(r.Context(), corr))
+
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if s.log == nil {
+			return
+		}
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "http access",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status()),
+			slog.Int("bytes", sw.bytes),
+			slog.Float64("latency_ms", ms(time.Since(start))),
+			slog.String("correlation_id", corr))
+	})
+}
+
+// statusWriter captures the response status and body size for the access
+// log. It forwards Flush so the SSE endpoint still streams through it.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// status returns the logged status code (200 when the handler never wrote).
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
 
 func (s *Server) routes() {
 	mux := http.NewServeMux()
@@ -66,7 +142,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
 		return
 	}
-	j, hit, err := s.Submit(spec)
+	j, hit, err := s.SubmitCorrelated(spec, correlationFrom(r.Context()))
 	switch {
 	case err == nil:
 	case err == ErrQueueFull:
@@ -139,9 +215,12 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 
 // handleEvents streams the job's telemetry as Server-Sent Events: each
 // protocol event as `event: telemetry` with a JSON data line, then a final
-// `event: done` carrying the terminal status. Late subscribers replay the
-// full stream; the connection closes when the stream completes or the
-// client goes away.
+// `event: done` carrying the terminal status. Every event block carries the
+// job's correlation ID in the SSE `id:` field, so a consumer can correlate a
+// stream with the daemon's logs without the `data:` payloads (the telemetry
+// JSON, unchanged from the library encoding) having to change. Late
+// subscribers replay the full stream; the connection closes when the stream
+// completes or the client goes away.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j := s.job(w, r)
 	if j == nil {
@@ -155,9 +234,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("X-Job-Id", j.ID())
+	w.Header().Set(CorrelationHeader, j.CorrelationID())
 	w.WriteHeader(http.StatusOK)
 
-	fmt.Fprintf(w, "event: job\ndata: {\"id\":%q,\"digest\":%q}\n\n", j.ID(), j.Digest())
+	// The SSE id: field is set per block, not per connection, so every event
+	// a client buffers or replays keeps its correlation stamp.
+	stamp := "id: " + j.CorrelationID() + "\n"
+	fmt.Fprintf(w, "%sevent: job\ndata: {\"id\":%q,\"correlation_id\":%q,\"digest\":%q}\n\n",
+		stamp, j.ID(), j.CorrelationID(), j.Digest())
 	flusher.Flush()
 
 	sub := j.Events().Subscribe()
@@ -166,6 +250,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	for {
 		evs, done := sub.Next()
 		for i := range evs {
+			w.Write([]byte(stamp))
 			w.Write([]byte("event: telemetry\n"))
 			enc.Encode(&evs[i]) // writes "data: {...}\n"
 			w.Write([]byte("\n"))
@@ -175,6 +260,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		if done {
 			st := j.StatusAt(time.Now())
+			w.Write([]byte(stamp))
 			w.Write([]byte("event: done\n"))
 			enc.Encode(st)
 			w.Write([]byte("\n"))
@@ -222,8 +308,35 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics serves the metrics snapshot in the representation the
+// client asked for: Prometheus text exposition when the Accept header names
+// text/plain or the OpenMetrics type, the historical JSON document
+// otherwise (a browser's or curl's */* keeps getting JSON, so existing
+// scrapers and the smoke script are unchanged).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsProm(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", telemetry.PromContentType)
+		w.WriteHeader(http.StatusOK)
+		s.writeProm(w)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+}
+
+// wantsProm reports whether an Accept header asks for Prometheus text
+// exposition rather than the default JSON.
+func wantsProm(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(part)
+		if i := strings.IndexByte(mt, ';'); i >= 0 {
+			mt = strings.TrimSpace(mt[:i])
+		}
+		switch strings.ToLower(mt) {
+		case "text/plain", "application/openmetrics-text":
+			return true
+		}
+	}
+	return false
 }
 
 // Interface checks: the fan-out sink must remain a telemetry emitter.

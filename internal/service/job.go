@@ -30,18 +30,45 @@ type Failure struct {
 	Cycle uint64 `json:"cycle"`
 	Error string `json:"error"`
 	Repro string `json:"repro"`
+	// FlightRecord is the path of the flight-recorder JSONL dump written
+	// for this failure (empty when the recorder is disabled).
+	FlightRecord string `json:"flight_record,omitempty"`
 }
 
+// stage indexes the serving-pipeline segments whose latency the daemon
+// accounts separately: queue wait, workload build, simulation, and result
+// rendering. The build and sim stages each accumulate both the TLS and the
+// sequential-reference passes.
+type stage int
+
+const (
+	stageQueue stage = iota
+	stageBuild
+	stageSim
+	stageRender
+	numStages
+)
+
+var stageNames = [numStages]string{"queue", "build", "sim", "render"}
+
+func (st stage) String() string { return stageNames[st] }
+
 // Job is one admitted simulation. All mutable state is behind mu; the
-// identity fields (id, spec, resolved form, fan-out sink) are set at
-// creation and never change.
+// identity fields (id, correlation ID, spec, resolved form, sinks) are set
+// at creation and never change.
 type Job struct {
-	id  string
-	res *Resolved
+	id string
+	// corr is the correlation ID of the submission that created the job; it
+	// stamps the job's SSE events, log lines, and flight-record filename.
+	corr string
+	res  *Resolved
 
 	// fan retains the job's full telemetry stream and feeds the SSE
 	// endpoint; it is closed when the job finishes, completing the stream.
 	fan *telemetry.Fanout
+	// flight is the bounded ring of recent telemetry events dumped when the
+	// job fails with a structured error; nil when the recorder is disabled.
+	flight *telemetry.Ring
 
 	// done is closed when the job reaches a terminal state.
 	done chan struct{}
@@ -49,29 +76,73 @@ type Job struct {
 	mu        sync.Mutex
 	spec      JobSpec
 	state     State
+	stage     stage
+	stageFrom time.Time
+	stageDur  [numStages]time.Duration
 	submitted time.Time
 	finished  time.Time
 	body      []byte
 	failure   *Failure
 }
 
-func newJob(id string, spec JobSpec, r *Resolved, now time.Time) *Job {
-	return &Job{
+func newJob(id, corr string, spec JobSpec, r *Resolved, now time.Time, flightEvents int) *Job {
+	j := &Job{
 		id:        id,
+		corr:      corr,
 		res:       r,
 		fan:       telemetry.NewFanout(),
 		done:      make(chan struct{}),
 		spec:      spec,
 		state:     StateQueued,
+		stageFrom: now,
 		submitted: now,
 	}
+	if flightEvents > 0 {
+		j.flight = telemetry.NewRing(flightEvents)
+	}
+	return j
 }
 
 // ID returns the job identifier.
 func (j *Job) ID() string { return j.id }
 
+// CorrelationID returns the correlation ID of the submission that created
+// the job.
+func (j *Job) CorrelationID() string { return j.corr }
+
 // Digest returns the job's content address.
 func (j *Job) Digest() string { return j.res.Digest }
+
+// enterStage marks the pipeline segment the job is currently in (surfaced
+// by /debug/requests) and restarts the segment clock.
+func (j *Job) enterStage(st stage, now time.Time) {
+	j.mu.Lock()
+	j.stage = st
+	j.stageFrom = now
+	j.mu.Unlock()
+}
+
+// addStage charges d to one pipeline segment.
+func (j *Job) addStage(st stage, d time.Duration) {
+	j.mu.Lock()
+	j.stageDur[st] += d
+	j.mu.Unlock()
+}
+
+// leaveStage charges the time since from to st and returns the new clock
+// reading — the boundary between two segments is read once.
+func (j *Job) leaveStage(st stage, from time.Time) time.Time {
+	now := time.Now()
+	j.addStage(st, now.Sub(from))
+	return now
+}
+
+// stageDurations snapshots the per-segment time charged so far.
+func (j *Job) stageDurations() [numStages]time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stageDur
+}
 
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
@@ -94,11 +165,16 @@ func (j *Job) Result() []byte {
 	return j.body
 }
 
-// setRunning transitions queued -> running.
-func (j *Job) setRunning() {
+// setRunning transitions queued -> running, charging the elapsed time to
+// the queue-wait stage; it returns that wait for the lifecycle log.
+func (j *Job) setRunning(now time.Time) time.Duration {
 	j.mu.Lock()
 	j.state = StateRunning
+	wait := now.Sub(j.submitted)
+	j.stageDur[stageQueue] = wait
+	j.stageFrom = now
 	j.mu.Unlock()
+	return wait
 }
 
 // finish records the terminal state, closes the done channel, and completes

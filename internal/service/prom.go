@@ -1,0 +1,57 @@
+package service
+
+import (
+	"io"
+	"strconv"
+
+	"subthreads/internal/telemetry"
+	"subthreads/internal/version"
+)
+
+// writeProm renders the serving metrics in Prometheus text exposition
+// format — the same snapshot /metrics serves as JSON, re-expressed as
+// tlsd_* families so a stock Prometheus scraper can consume the daemon
+// without any sidecar. The four pipeline stages share one histogram family
+// distinguished by a stage label, and the build identity rides on the
+// conventional always-1 tlsd_build_info gauge.
+func (s *Server) writeProm(w io.Writer) error {
+	m := s.MetricsSnapshot()
+	v := version.Get()
+	p := telemetry.NewPromWriter(w)
+
+	p.Gauge("tlsd_build_info",
+		"Build identity of the running daemon; the value is always 1.", 1,
+		telemetry.PromLabel{Name: "module", Value: v.Module},
+		telemetry.PromLabel{Name: "version", Value: v.Version},
+		telemetry.PromLabel{Name: "revision", Value: v.Revision},
+		telemetry.PromLabel{Name: "modified", Value: strconv.FormatBool(v.Modified)},
+		telemetry.PromLabel{Name: "go", Value: v.Go})
+
+	p.Gauge("tlsd_uptime_seconds", "Seconds since the daemon started.", m.UptimeSeconds)
+	p.Gauge("tlsd_workers", "Simulation worker-pool size.", float64(m.Workers))
+	p.Gauge("tlsd_queue_depth", "Jobs waiting in the admission queue.", float64(m.QueueDepth))
+	p.Gauge("tlsd_queue_capacity", "Admission queue capacity.", float64(m.QueueCapacity))
+	p.Gauge("tlsd_jobs_in_flight", "Jobs currently simulating.", float64(m.InFlight))
+
+	p.Counter("tlsd_jobs_submitted_total", "Job submissions admitted or rejected.", m.JobsSubmitted)
+	p.Counter("tlsd_jobs_completed_total", "Jobs that finished with a servable result.", m.JobsCompleted)
+	p.Counter("tlsd_jobs_failed_total", "Jobs that ended in a structured failure.", m.JobsFailed)
+	p.Counter("tlsd_jobs_rejected_total", "Submissions rejected because the queue was full.", m.JobsRejected)
+
+	p.Gauge("tlsd_cache_entries", "Distinct digests with a live job or stored result.", float64(m.CacheEntries))
+	p.Counter("tlsd_cache_hits_total", "Submissions served from the content-addressed result cache.", m.CacheHits)
+	p.Counter("tlsd_cache_misses_total", "Submissions that required a new simulation.", m.CacheMisses)
+	p.Counter("tlsd_cache_deduped_total", "Submissions attached to an already in-flight duplicate.", m.DedupedInFlight)
+	p.Gauge("tlsd_cache_hit_ratio", "Fraction of classified submissions served without new work (0 until the first job).", m.CacheHitRatio)
+
+	p.Histogram("tlsd_job_cold_latency_microseconds",
+		"Submit-to-terminal latency of executed jobs.", m.ColdLatencyMicros)
+	p.Histogram("tlsd_cache_hit_latency_microseconds",
+		"Lookup latency of cache-hit submissions.", m.HitLatencyMicros)
+	for st := stage(0); st < numStages; st++ {
+		p.Histogram("tlsd_job_stage_latency_microseconds",
+			"Executed-job latency by pipeline stage (queue wait, workload build, simulation, result render).",
+			m.stageSnapshot(st), telemetry.PromLabel{Name: "stage", Value: st.String()})
+	}
+	return p.Flush()
+}

@@ -5,6 +5,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"sync"
@@ -34,6 +37,18 @@ type Options struct {
 	// Inject is a server-wide fault-injection spec applied to jobs that
 	// carry none — the chaos-mode default for soak testing the daemon.
 	Inject string
+	// Logger receives the access and job-lifecycle logs. nil — the library
+	// default — disables logging entirely: every logging site reduces to
+	// one branch, keeping the embedded serving path allocation-clean.
+	Logger *slog.Logger
+	// FlightDir enables the failure flight recorder: each job keeps a
+	// bounded ring of its most recent telemetry events, and a job that
+	// fails with a structured *sim.RunError dumps the ring as JSONL into
+	// this directory (filename <job>-<correlation>.jsonl, path logged and
+	// attached to the failure). "" disables the recorder.
+	FlightDir string
+	// FlightEvents caps the per-job flight ring; default 4096.
+	FlightEvents int
 }
 
 // ErrQueueFull rejects a submission because the admission queue is at
@@ -58,6 +73,7 @@ type Server struct {
 	opts    Options
 	builder *workload.Builder
 	mux     httpMux
+	log     *slog.Logger // nil = logging disabled
 	started time.Time
 
 	queue chan *Job
@@ -81,6 +97,9 @@ type Server struct {
 	inFlight    int
 	coldMicros  telemetry.Histogram // submit -> terminal, simulated jobs
 	hitMicros   telemetry.Histogram // lookup time of cache-hit submissions
+	// stageMicros breaks the cold path down by pipeline segment (queue
+	// wait, build, sim, render) for every executed job.
+	stageMicros [numStages]telemetry.Histogram
 }
 
 // New starts a server: the worker pool is live on return. The caller owns
@@ -92,9 +111,13 @@ func New(opts Options) *Server {
 	if opts.QueueDepth <= 0 {
 		opts.QueueDepth = 64
 	}
+	if opts.FlightEvents <= 0 {
+		opts.FlightEvents = 4096
+	}
 	s := &Server{
 		opts:     opts,
 		builder:  workload.NewBuilder(),
+		log:      opts.Logger,
 		started:  time.Now(),
 		queue:    make(chan *Job, opts.QueueDepth),
 		jobs:     make(map[string]*Job),
@@ -130,6 +153,17 @@ func (s *Server) normalize(spec JobSpec) JobSpec {
 // — otherwise it enqueues a new job. hit reports whether the job already
 // existed. Errors: *BadSpecError, ErrQueueFull, ErrDraining.
 func (s *Server) Submit(spec JobSpec) (j *Job, hit bool, err error) {
+	return s.SubmitCorrelated(spec, "")
+}
+
+// SubmitCorrelated is Submit with an explicit correlation ID: corr tags
+// this submission's lifecycle log lines and, when the submission creates a
+// new job, becomes the job's correlation ID (stamped on its SSE events and
+// flight record). "" generates a fresh ID.
+func (s *Server) SubmitCorrelated(spec JobSpec, corr string) (j *Job, hit bool, err error) {
+	if corr == "" {
+		corr = NewCorrelationID()
+	}
 	spec = s.normalize(spec)
 	start := time.Now()
 	r, err := spec.Resolve()
@@ -137,6 +171,37 @@ func (s *Server) Submit(spec JobSpec) (j *Job, hit bool, err error) {
 		return nil, false, &BadSpecError{Err: err}
 	}
 
+	j, hit, queueLen, err := s.admit(spec, r, corr, start)
+	switch {
+	case err != nil:
+		s.jlog(slog.LevelWarn, "job rejected",
+			slog.String("correlation_id", corr),
+			slog.String("digest", r.Digest),
+			slog.String("reason", err.Error()))
+	case !hit:
+		s.jlog(slog.LevelInfo, "job enqueued",
+			slog.String("correlation_id", corr),
+			slog.String("job", j.id),
+			slog.String("digest", r.Digest),
+			slog.Int("queue_len", queueLen))
+	case j.State() == StateDone:
+		s.jlog(slog.LevelInfo, "job cache hit",
+			slog.String("correlation_id", corr),
+			slog.String("job", j.id),
+			slog.String("job_correlation_id", j.corr),
+			slog.String("digest", r.Digest))
+	default:
+		s.jlog(slog.LevelInfo, "job deduplicated",
+			slog.String("correlation_id", corr),
+			slog.String("job", j.id),
+			slog.String("job_correlation_id", j.corr),
+			slog.String("digest", r.Digest))
+	}
+	return j, hit, err
+}
+
+// admit is the locked core of SubmitCorrelated.
+func (s *Server) admit(spec JobSpec, r *Resolved, corr string, start time.Time) (j *Job, hit bool, queueLen int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.submitted++
@@ -149,24 +214,28 @@ func (s *Server) Submit(spec JobSpec) (j *Job, hit bool, err error) {
 		} else {
 			s.deduped++
 		}
-		return prev, true, nil
+		return prev, true, len(s.queue), nil
 	}
 	if s.draining {
-		return nil, false, ErrDraining
+		return nil, false, 0, ErrDraining
 	}
 	s.cacheMisses++
 	s.nextID++
-	j = newJob("job-"+strconv.FormatUint(s.nextID, 10), spec, r, start)
+	flightEvents := 0
+	if s.opts.FlightDir != "" {
+		flightEvents = s.opts.FlightEvents
+	}
+	j = newJob("job-"+strconv.FormatUint(s.nextID, 10), corr, spec, r, start, flightEvents)
 	select {
 	case s.queue <- j:
 	default:
 		s.rejected++
 		s.cacheMisses-- // never admitted; keep the hit ratio honest
-		return nil, false, ErrQueueFull
+		return nil, false, 0, ErrQueueFull
 	}
 	s.jobs[j.id] = j
 	s.byDigest[r.Digest] = j
-	return j, false, nil
+	return j, false, len(s.queue), nil
 }
 
 // Job looks a job up by ID.
@@ -225,10 +294,14 @@ var testHookRunning atomic.Pointer[func(*Job)]
 
 // runJob executes one job end to end and publishes its terminal state.
 func (s *Server) runJob(j *Job) {
-	j.setRunning()
+	wait := j.setRunning(time.Now())
 	s.mu.Lock()
 	s.inFlight++
 	s.mu.Unlock()
+	s.jlog(slog.LevelInfo, "job started",
+		slog.String("correlation_id", j.corr),
+		slog.String("job", j.id),
+		slog.Float64("queue_wait_ms", ms(wait)))
 
 	if hook := testHookRunning.Load(); hook != nil {
 		(*hook)(j)
@@ -236,6 +309,7 @@ func (s *Server) runJob(j *Job) {
 	body, failure := s.execute(j)
 	finished := time.Now()
 	j.finish(body, failure, finished)
+	stages := j.stageDurations()
 
 	s.mu.Lock()
 	s.inFlight--
@@ -249,9 +323,38 @@ func (s *Server) runJob(j *Job) {
 	} else {
 		s.completed++
 	}
+	for st := stage(0); st < numStages; st++ {
+		s.stageMicros[st].Observe(uint64(stages[st].Microseconds()))
+	}
 	s.coldMicros.Observe(uint64(finished.Sub(j.submitted).Microseconds()))
 	s.mu.Unlock()
+
+	if failure != nil {
+		s.jlog(slog.LevelError, "job failed",
+			slog.String("correlation_id", j.corr),
+			slog.String("job", j.id),
+			slog.String("digest", j.res.Digest),
+			slog.String("kind", failure.Kind),
+			slog.Uint64("cycle", failure.Cycle),
+			slog.String("error", failure.Error),
+			slog.String("flight_record", failure.FlightRecord),
+			slog.String("repro", failure.Repro))
+		return
+	}
+	s.jlog(slog.LevelInfo, "job completed",
+		slog.String("correlation_id", j.corr),
+		slog.String("job", j.id),
+		slog.String("digest", j.res.Digest),
+		slog.Int("bytes", len(body)),
+		slog.Float64("queue_wait_ms", ms(stages[stageQueue])),
+		slog.Float64("build_ms", ms(stages[stageBuild])),
+		slog.Float64("sim_ms", ms(stages[stageSim])),
+		slog.Float64("render_ms", ms(stages[stageRender])),
+		slog.Float64("total_ms", ms(finished.Sub(j.submitted))))
 }
+
+// ms renders a duration as fractional milliseconds for log attributes.
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
 // execute runs the simulation for j and renders the result document — the
 // exact bytes `tlssim -json` prints for the same spec. A structured
@@ -279,9 +382,19 @@ func (s *Server) execute(j *Job) (body []byte, failure *Failure) {
 		cfg.Inject = inject.New(*r.Inject)
 	}
 	cfg.Telemetry = j.fan
+	if j.flight != nil {
+		// The flight ring rides alongside the SSE fan-out: same stream,
+		// bounded retention, dumped only on a structured failure.
+		cfg.Telemetry = telemetry.Multi(j.fan, j.flight)
+	}
 
+	t := time.Now()
+	j.enterStage(stageBuild, t)
 	built := s.builder.Build(r.Spec, r.Exp.SequentialSoftware())
+	t = j.leaveStage(stageBuild, t)
+	j.enterStage(stageSim, t)
 	res, err := sim.RunE(cfg, built.Program)
+	t = j.leaveStage(stageSim, t)
 	if err != nil {
 		var re *sim.RunError
 		if errors.As(err, &re) {
@@ -289,9 +402,14 @@ func (s *Server) execute(j *Job) (body []byte, failure *Failure) {
 		}
 		return nil, &Failure{Kind: "error", Error: err.Error(), Repro: r.ReproCommand()}
 	}
+	j.enterStage(stageBuild, t)
 	seqBuilt := s.builder.Build(r.Spec, true)
+	t = j.leaveStage(stageBuild, t)
+	j.enterStage(stageSim, t)
 	seqRes := sim.Run(workload.Machine(workload.Sequential), seqBuilt.Program)
+	t = j.leaveStage(stageSim, t)
 
+	j.enterStage(stageRender, t)
 	run := report.BuildRun(report.RunParams{
 		Benchmark:  r.Spec.Bench.String(),
 		Experiment: r.Exp.String(),
@@ -302,19 +420,57 @@ func (s *Server) execute(j *Job) (body []byte, failure *Failure) {
 		Coverage:   built.Stats.Coverage,
 	}, res, seqRes)
 	var buf bytes.Buffer
-	if err := report.WriteRun(&buf, run); err != nil {
+	err = report.WriteRun(&buf, run)
+	j.leaveStage(stageRender, t)
+	if err != nil {
 		return nil, &Failure{Kind: "encode", Error: err.Error(), Repro: r.ReproCommand()}
 	}
 	return buf.Bytes(), nil
 }
 
+// failureFrom converts a structured simulation error into the job's Failure
+// and, when the flight recorder is armed, dumps the job's telemetry tail.
 func (s *Server) failureFrom(j *Job, re *sim.RunError) *Failure {
 	return &Failure{
-		Kind:  re.Kind,
-		Cycle: re.Cycle,
-		Error: re.Error(),
-		Repro: j.res.ReproCommand(),
+		Kind:         re.Kind,
+		Cycle:        re.Cycle,
+		Error:        re.Error(),
+		Repro:        j.res.ReproCommand(),
+		FlightRecord: s.dumpFlight(j),
 	}
+}
+
+// dumpFlight writes the job's flight-recorder ring as JSONL under
+// Options.FlightDir and returns the path ("" when the recorder is disabled
+// or the dump fails — the job's failure is never masked by a dump error).
+func (s *Server) dumpFlight(j *Job) string {
+	if j.flight == nil {
+		return ""
+	}
+	if err := os.MkdirAll(s.opts.FlightDir, 0o755); err != nil {
+		s.jlog(slog.LevelWarn, "flight record not written",
+			slog.String("correlation_id", j.corr),
+			slog.String("job", j.id),
+			slog.String("error", err.Error()))
+		return ""
+	}
+	path := filepath.Join(s.opts.FlightDir, j.id+"-"+j.corr+".jsonl")
+	f, err := os.Create(path)
+	if err == nil {
+		err = telemetry.EncodeJSONL(f, j.flight.Events())
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		s.jlog(slog.LevelWarn, "flight record not written",
+			slog.String("correlation_id", j.corr),
+			slog.String("job", j.id),
+			slog.String("path", path),
+			slog.String("error", err.Error()))
+		return ""
+	}
+	return path
 }
 
 // Metrics is the /metrics snapshot: queue pressure, worker occupancy, cache
@@ -340,6 +496,28 @@ type Metrics struct {
 
 	ColdLatencyMicros telemetry.HistogramSnapshot `json:"cold_latency_micros"`
 	HitLatencyMicros  telemetry.HistogramSnapshot `json:"cache_hit_latency_micros"`
+
+	// Per-stage breakdown of the cold path, observed once per executed job:
+	// queue wait, workload build, simulation, result render.
+	QueueWaitMicros     telemetry.HistogramSnapshot `json:"queue_wait_micros"`
+	BuildLatencyMicros  telemetry.HistogramSnapshot `json:"build_latency_micros"`
+	SimLatencyMicros    telemetry.HistogramSnapshot `json:"sim_latency_micros"`
+	RenderLatencyMicros telemetry.HistogramSnapshot `json:"render_latency_micros"`
+}
+
+// stageSnapshot returns the snapshot of one stage histogram, indexed the
+// same way the Prometheus exposition labels them.
+func (m *Metrics) stageSnapshot(st stage) telemetry.HistogramSnapshot {
+	switch st {
+	case stageQueue:
+		return m.QueueWaitMicros
+	case stageBuild:
+		return m.BuildLatencyMicros
+	case stageSim:
+		return m.SimLatencyMicros
+	default:
+		return m.RenderLatencyMicros
+	}
 }
 
 // MetricsSnapshot captures the current serving metrics.
@@ -365,6 +543,11 @@ func (s *Server) MetricsSnapshot() Metrics {
 
 		ColdLatencyMicros: s.coldMicros.Snapshot(),
 		HitLatencyMicros:  s.hitMicros.Snapshot(),
+
+		QueueWaitMicros:     s.stageMicros[stageQueue].Snapshot(),
+		BuildLatencyMicros:  s.stageMicros[stageBuild].Snapshot(),
+		SimLatencyMicros:    s.stageMicros[stageSim].Snapshot(),
+		RenderLatencyMicros: s.stageMicros[stageRender].Snapshot(),
 	}
 	if served := m.CacheHits + m.DedupedInFlight + m.CacheMisses; served > 0 {
 		m.CacheHitRatio = float64(m.CacheHits+m.DedupedInFlight) / float64(served)

@@ -636,6 +636,16 @@ func TestBenchReportShape(t *testing.T) {
 	if rep.CacheHitRatio <= 0 || rep.JobsPerSec <= 0 {
 		t.Errorf("bench metrics empty: %+v", rep)
 	}
+	// The stage breakdown must be populated and account for the cold path:
+	// a simulated job spends most of its time in build+sim, and the sum of
+	// the in-worker stages cannot exceed the submit-to-done mean.
+	if rep.BuildLatencyMS <= 0 || rep.SimLatencyMS <= 0 || rep.RenderLatencyMS <= 0 {
+		t.Errorf("stage breakdown empty: %+v", rep)
+	}
+	inWorker := rep.BuildLatencyMS + rep.SimLatencyMS + rep.RenderLatencyMS
+	if inWorker > rep.ColdLatencyMS {
+		t.Errorf("stage sum %.3fms exceeds cold latency %.3fms", inWorker, rep.ColdLatencyMS)
+	}
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	if err := enc.Encode(rep); err != nil {

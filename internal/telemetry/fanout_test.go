@@ -112,6 +112,70 @@ func TestFanoutCloseIsIdempotentAndEmitAfterCloseDrops(t *testing.T) {
 	}
 }
 
+// TestFanoutCorrelatedStreamsStayIsolated models the serving daemon's
+// per-job fan-out under full concurrency (run with -race): each job has its
+// own Fanout whose events are stamped with the job's identity (Epoch stands
+// in for the correlation ID the SSE layer attaches), publishers for all jobs
+// emit concurrently, and both live and late subscribers must observe only
+// their own job's events, in emission order, with the stamp preserved on
+// every event. Interleaving one job's events into another job's stream —
+// the cross-correlation bug this test guards against — would surface as a
+// foreign Epoch or an order break.
+func TestFanoutCorrelatedStreamsStayIsolated(t *testing.T) {
+	const jobs, events, lateSubs = 8, 200, 2
+
+	fans := make([]*Fanout, jobs)
+	for j := range fans {
+		fans[j] = NewFanout()
+	}
+
+	var wg sync.WaitGroup
+	live := make([][]Event, jobs)
+	for j := 0; j < jobs; j++ {
+		wg.Add(1)
+		go func(j int) { // live subscriber, racing the publisher
+			defer wg.Done()
+			live[j] = fanoutDrain(fans[j].Subscribe())
+		}(j)
+	}
+	var pubs sync.WaitGroup
+	for j := 0; j < jobs; j++ {
+		pubs.Add(1)
+		go func(j int) { // one publisher per job, all concurrent
+			defer pubs.Done()
+			for i := 0; i < events; i++ {
+				fans[j].Emit(Event{Epoch: uint64(j), Cycle: uint64(i)})
+			}
+			fans[j].Close()
+		}(j)
+	}
+	pubs.Wait()
+	wg.Wait()
+
+	check := func(j int, got []Event, who string) {
+		t.Helper()
+		if len(got) != events {
+			t.Fatalf("job %d %s subscriber saw %d events, want %d", j, who, len(got), events)
+		}
+		for i, ev := range got {
+			if ev.Epoch != uint64(j) {
+				t.Fatalf("job %d %s subscriber saw job %d's event at %d: streams interleaved", j, who, ev.Epoch, i)
+			}
+			if ev.Cycle != uint64(i) {
+				t.Fatalf("job %d %s subscriber saw cycle %d at position %d: order broken", j, who, ev.Cycle, i)
+			}
+		}
+	}
+	for j := 0; j < jobs; j++ {
+		check(j, live[j], "live")
+		// Late subscribers replay the closed stream and must see the same
+		// correlated, ordered history.
+		for s := 0; s < lateSubs; s++ {
+			check(j, fanoutDrain(fans[j].Subscribe()), "late")
+		}
+	}
+}
+
 func TestFanoutCancelStopsDelivery(t *testing.T) {
 	f := NewFanout()
 	sub := f.Subscribe()

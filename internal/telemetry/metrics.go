@@ -107,9 +107,9 @@ type Metrics struct {
 	// InterViolationGap is cycles between consecutive primary violations.
 	InterViolationGap Histogram
 
-	epochStart map[uint64]uint64   // epoch ID -> start cycle
-	latches    map[latchKey]*latchOpen
-	stallSince map[int]uint64 // CPU -> latch-stall begin cycle
+	epochStart  map[uint64]uint64 // epoch ID -> start cycle
+	latches     map[latchKey]*latchOpen
+	stallSince  map[int]uint64 // CPU -> latch-stall begin cycle
 	lastPrimary uint64
 	sawPrimary  bool
 }

@@ -1,0 +1,174 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the Prometheus text exposition
+// format this encoder produces (version 0.0.4).
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromLabel is one name="value" pair on a Prometheus series.
+type PromLabel struct {
+	Name  string
+	Value string
+}
+
+// PromWriter renders metrics in the Prometheus text exposition format
+// (version 0.0.4) without any client-library dependency. It writes one
+// `# HELP` / `# TYPE` header per metric family (repeated calls with the same
+// name — e.g. one histogram per label value — share the family header), and
+// it never emits NaN or ±Inf sample values: non-finite inputs are written as
+// 0, so a scrape of a freshly started process is always clean.
+//
+// Errors are sticky: the first write error is kept and later calls are
+// no-ops; check Flush.
+type PromWriter struct {
+	w    *bufio.Writer
+	err  error
+	seen map[string]string // family name -> declared type
+}
+
+// NewPromWriter returns an exposition writer over w.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: bufio.NewWriter(w), seen: make(map[string]string)}
+}
+
+// Counter writes one counter sample. Counter names should end in _total by
+// Prometheus convention.
+func (p *PromWriter) Counter(name, help string, v uint64, labels ...PromLabel) {
+	p.family(name, help, "counter")
+	p.sample(name, labels, float64(v))
+}
+
+// Gauge writes one gauge sample.
+func (p *PromWriter) Gauge(name, help string, v float64, labels ...PromLabel) {
+	p.family(name, help, "gauge")
+	p.sample(name, labels, v)
+}
+
+// Histogram writes one histogram series: cumulative _bucket samples (le is
+// the inclusive upper bound of each retained power-of-two bucket), the +Inf
+// bucket, _sum, and _count. An empty snapshot renders as a valid all-zero
+// histogram.
+func (p *PromWriter) Histogram(name, help string, s HistogramSnapshot, labels ...PromLabel) {
+	p.family(name, help, "histogram")
+	cum := uint64(0)
+	for _, b := range s.Buckets {
+		cum += b.Count
+		p.sample(name+"_bucket", withLabel(labels, PromLabel{"le", strconv.FormatUint(b.Le, 10)}), float64(cum))
+	}
+	p.sample(name+"_bucket", withLabel(labels, PromLabel{"le", "+Inf"}), float64(s.Count))
+	p.sample(name+"_sum", labels, float64(s.Sum))
+	p.sample(name+"_count", labels, float64(s.Count))
+}
+
+// Flush drains the buffer and returns the first error encountered.
+func (p *PromWriter) Flush() error {
+	if err := p.w.Flush(); p.err == nil {
+		p.err = err
+	}
+	return p.err
+}
+
+// family writes the HELP/TYPE header the first time a family name appears.
+func (p *PromWriter) family(name, help, typ string) {
+	if p.err != nil {
+		return
+	}
+	if prev, ok := p.seen[name]; ok {
+		if prev != typ {
+			p.err = fmt.Errorf("telemetry: metric %s redeclared as %s (was %s)", name, typ, prev)
+		}
+		return
+	}
+	p.seen[name] = typ
+	_, p.err = fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+func (p *PromWriter) sample(name string, labels []PromLabel, v float64) {
+	if p.err != nil {
+		return
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		v = 0
+	}
+	if _, err := p.w.WriteString(name); err != nil {
+		p.err = err
+		return
+	}
+	if len(labels) > 0 {
+		p.w.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				p.w.WriteByte(',')
+			}
+			p.w.WriteString(l.Name)
+			p.w.WriteString(`="`)
+			p.w.WriteString(escapeLabel(l.Value))
+			p.w.WriteByte('"')
+		}
+		p.w.WriteByte('}')
+	}
+	p.w.WriteByte(' ')
+	p.w.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	p.err = p.w.WriteByte('\n')
+}
+
+func withLabel(labels []PromLabel, extra PromLabel) []PromLabel {
+	out := make([]PromLabel, 0, len(labels)+1)
+	out = append(out, labels...)
+	return append(out, extra)
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote, and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// escapeHelp escapes HELP text: backslash and newline.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// WriteProm renders the metrics snapshot in Prometheus text exposition
+// format under the given namespace: every event-kind counter as one
+// `<ns>_events_total{kind="..."}` series and every histogram as
+// `<ns>_<name>`. Map iteration is sorted, so identical snapshots produce
+// identical bytes.
+func (s Snapshot) WriteProm(w io.Writer, namespace string) error {
+	p := NewPromWriter(w)
+	kinds := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		p.Counter(namespace+"_events_total", "Protocol telemetry events by kind.",
+			s.Counters[k], PromLabel{"kind", k})
+	}
+	names := make([]string, 0, len(s.Histograms))
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p.Histogram(namespace+"_"+n, "Distribution of "+n+".", s.Histograms[n])
+	}
+	return p.Flush()
+}

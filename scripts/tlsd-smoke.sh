@@ -1,21 +1,27 @@
 #!/bin/sh
 # End-to-end smoke test of the serving daemon (CI "tlsd smoke" step):
-# start tlsd, submit the baseline job over HTTP, poll it to completion, and
-# require the served result to be byte-identical to `tlssim -json` for the
-# same spec; resubmit to require a content-addressed cache hit; then SIGTERM
-# the daemon and require a clean drain (exit 0).
+# start tlsd with structured JSON logging, the flight recorder, and the
+# debug surface; submit a correlated baseline job over HTTP, poll it to
+# completion, and require the served result to be byte-identical to
+# `tlssim -json` for the same spec; resubmit to require a content-addressed
+# cache hit; scrape /metrics in both JSON and Prometheus form and lint the
+# exposition; force a structured failure and require its flight-recorder
+# dump; then SIGTERM the daemon and require a clean drain (exit 0).
 set -e
 cd "$(dirname "$0")/.."
 
 ADDR=127.0.0.1:18080
+DEBUG_ADDR=127.0.0.1:18081
 SPEC='{"benchmark":"NEW ORDER","experiment":"BASELINE","txns":3,"warmup":1}'
+CORR=smoke-run-1
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
 go build -o "$TMP/tlsd" ./cmd/tlsd
 go build -o "$TMP/tlssim" ./cmd/tlssim
 
-"$TMP/tlsd" -addr "$ADDR" >"$TMP/tlsd.log" 2>&1 &
+"$TMP/tlsd" -addr "$ADDR" -debug-addr "$DEBUG_ADDR" -log-format json \
+    -flight-dir "$TMP/flight" >"$TMP/tlsd.log" 2>"$TMP/tlsd.jsonl" &
 TLSD_PID=$!
 
 # Wait for readiness.
@@ -25,14 +31,21 @@ for i in $(seq 1 100); do
     fi
     if [ "$i" = 100 ]; then
         echo "tlsd-smoke: daemon never became ready" >&2
-        cat "$TMP/tlsd.log" >&2
+        cat "$TMP/tlsd.log" "$TMP/tlsd.jsonl" >&2
         exit 1
     fi
     sleep 0.1
 done
 
-# Submit, extract the job id, poll to a terminal state.
-curl -fsS -X POST "http://$ADDR/v1/jobs" -d "$SPEC" >"$TMP/submit.json"
+# Submit with a correlation ID, extract the job id, poll to a terminal
+# state. The correlation ID must be echoed on the response.
+curl -fsS -D "$TMP/submit.hdr" -H "X-Correlation-ID: $CORR" \
+    -X POST "http://$ADDR/v1/jobs" -d "$SPEC" >"$TMP/submit.json"
+if ! grep -qi "^X-Correlation-ID: $CORR" "$TMP/submit.hdr"; then
+    echo "tlsd-smoke: correlation ID not echoed:" >&2
+    cat "$TMP/submit.hdr" >&2
+    exit 1
+fi
 JOB=$(sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' "$TMP/submit.json" | head -1)
 if [ -z "$JOB" ]; then
     echo "tlsd-smoke: no job id in submit response:" >&2
@@ -81,13 +94,77 @@ curl -fsS "http://$ADDR/metrics" | grep -q '"cache_hits": 1' || {
     exit 1
 }
 
+# The same endpoint under a Prometheus scraper's Accept header speaks the
+# text exposition format; the in-repo linter must accept the scrape.
+curl -fsS -H 'Accept: text/plain' "http://$ADDR/metrics" >"$TMP/metrics.prom"
+grep -q '^tlsd_cache_hits_total 1$' "$TMP/metrics.prom" || {
+    echo "tlsd-smoke: Prometheus exposition does not show the cache hit" >&2
+    cat "$TMP/metrics.prom" >&2
+    exit 1
+}
+grep -q '^tlsd_job_stage_latency_microseconds_count{stage="sim"} 1$' "$TMP/metrics.prom" || {
+    echo "tlsd-smoke: Prometheus exposition missing stage histograms" >&2
+    cat "$TMP/metrics.prom" >&2
+    exit 1
+}
+PROMLINT_FILE="$TMP/metrics.prom" go test -count=1 -run TestLintPromFile ./internal/telemetry >/dev/null || {
+    echo "tlsd-smoke: Prometheus exposition failed the format linter" >&2
+    cat "$TMP/metrics.prom" >&2
+    exit 1
+}
+
+# The opt-in debug surface answers on its own port with the in-flight view.
+curl -fsS "http://$DEBUG_ADDR/debug/requests" | grep -q '"in_flight"' || {
+    echo "tlsd-smoke: /debug/requests not served on the debug port" >&2
+    exit 1
+}
+
+# A seeded injection run whose forward-progress watchdog trips must leave a
+# flight-recorder dump whose path is attached to the job's failure and
+# named in the failure log.
+FAILSPEC='{"benchmark":"NEW ORDER","txns":3,"warmup":1,"inject":"seed=1,faults=5,window=60000","watchdog_cycles":2000}'
+curl -fsS -H 'X-Correlation-ID: smoke-crash' -X POST "http://$ADDR/v1/jobs" -d "$FAILSPEC" >"$TMP/fail.json"
+FAILJOB=$(sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' "$TMP/fail.json" | head -1)
+for i in $(seq 1 600); do
+    STATE=$(curl -fsS "http://$ADDR/v1/jobs/$FAILJOB" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p' | head -1)
+    [ "$STATE" = "failed" ] && break
+    if [ "$i" = 600 ]; then
+        echo "tlsd-smoke: budgeted job never failed (state=$STATE)" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+FLIGHT=$(curl -fsS "http://$ADDR/v1/jobs/$FAILJOB" | sed -n 's/.*"flight_record": *"\([^"]*\)".*/\1/p' | head -1)
+if [ -z "$FLIGHT" ] || [ ! -s "$FLIGHT" ]; then
+    echo "tlsd-smoke: failed job has no flight-recorder dump (path='$FLIGHT')" >&2
+    curl -fsS "http://$ADDR/v1/jobs/$FAILJOB" >&2
+    exit 1
+fi
+case "$FLIGHT" in
+*smoke-crash*) ;;
+*)
+    echo "tlsd-smoke: flight record $FLIGHT not named after the correlation ID" >&2
+    exit 1
+    ;;
+esac
+
+# The structured log stream carries the lifecycle with correlation IDs.
+for NEEDLE in '"msg":"job enqueued"' '"msg":"job completed"' '"msg":"job failed"' \
+    "\"correlation_id\":\"$CORR\"" '"msg":"http access"' '"flight_record"'; do
+    grep -q "$NEEDLE" "$TMP/tlsd.jsonl" || {
+        echo "tlsd-smoke: structured log missing $NEEDLE" >&2
+        cat "$TMP/tlsd.jsonl" >&2
+        exit 1
+    }
+done
+
 # Graceful shutdown: SIGTERM must drain and exit 0.
 kill -TERM "$TLSD_PID"
 STATUS=0
 wait "$TLSD_PID" || STATUS=$?
 if [ "$STATUS" != 0 ]; then
     echo "tlsd-smoke: daemon exited $STATUS on SIGTERM" >&2
-    cat "$TMP/tlsd.log" >&2
+    cat "$TMP/tlsd.log" "$TMP/tlsd.jsonl" >&2
     exit 1
 fi
 grep -q 'drained, bye' "$TMP/tlsd.log" || {
@@ -96,4 +173,4 @@ grep -q 'drained, bye' "$TMP/tlsd.log" || {
     exit 1
 }
 
-echo "tlsd-smoke: ok (job $JOB byte-identical, cache hit, clean drain)"
+echo "tlsd-smoke: ok (job $JOB byte-identical, cache hit, clean exposition, flight record, clean drain)"
