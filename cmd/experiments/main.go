@@ -77,6 +77,7 @@ func main() {
 	flag.StringVar(&opts.bench, "benchmark", "", "restrict to one benchmark (e.g. \"NEW ORDER\")")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "simulations to run in parallel (output is identical for every -j)")
 	pipelineBench := flag.String("pipeline-bench", "", "measure suite runtime at -j 1 vs -j N and write a JSON report to this file")
+	cacheDir := cliflags.AddCacheDir(flag.CommandLine)
 	showVersion := cliflags.AddVersion(flag.CommandLine)
 	faults := cliflags.AddFaults(flag.CommandLine)
 	flag.Parse()
@@ -85,6 +86,16 @@ func main() {
 	opts.inject = faults.Inject
 	opts.par = newRunner(*jobs)
 	opts.par.paranoid = opts.paranoid
+	// With -cache-dir, the suite's shared build cache gains the persistent
+	// tier: a re-run (or a different command over the same directory) decodes
+	// recorded programs from disk instead of rebuilding them.
+	store, err := cliflags.OpenStore(*cacheDir, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
+	defer store.Close()
+	opts.par.builder.SetStore(store)
 	icfg, err := faults.Config()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)

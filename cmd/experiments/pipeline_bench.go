@@ -39,6 +39,10 @@ type pipelineBench struct {
 		Simulations     int     `json:"simulations"`
 		BuildsJ1        int     `json:"builds_j1"`
 		BuildsJN        int     `json:"builds_jn"`
+		MemoryHitsJ1    int     `json:"memory_hits_j1"`
+		MemoryHitsJN    int     `json:"memory_hits_jn"`
+		DiskHitsJ1      int     `json:"disk_hits_j1"`
+		DiskHitsJN      int     `json:"disk_hits_jn"`
 	} `json:"suite"`
 	Sim struct {
 		Bench          string  `json:"bench"`
@@ -50,7 +54,7 @@ type pipelineBench struct {
 
 // pipelineSuite runs the benchmark suite (the two figure generators whose
 // sweeps dominate -all) on a fresh runner with the given worker count.
-func pipelineSuite(o options, jobs int) (out string, sims, builds int, elapsed time.Duration) {
+func pipelineSuite(o options, jobs int) (out string, sims int, stats workload.BuildStats, elapsed time.Duration) {
 	r := newRunner(jobs)
 	o.par = r
 	var buf bytes.Buffer
@@ -61,7 +65,7 @@ func pipelineSuite(o options, jobs int) (out string, sims, builds int, elapsed t
 	benches := len(o.benchmarks(tpcc.All()))
 	profitable := len(o.benchmarks(tpcc.TLSProfitable()))
 	sims = benches*len(figure5Experiments) + profitable*16
-	return buf.String(), sims, r.builder.Builds(), elapsed
+	return buf.String(), sims, r.builder.Stats(), elapsed
 }
 
 // runPipelineBench measures the pipeline and writes the JSON artifact.
@@ -78,9 +82,9 @@ func runPipelineBench(path string, o options) error {
 	b.Workload.Suite = "figure5+figure6"
 
 	fmt.Fprintf(os.Stderr, "pipeline-bench: suite at -j 1...\n")
-	out1, sims, builds1, t1 := pipelineSuite(o, 1)
+	out1, sims, stats1, t1 := pipelineSuite(o, 1)
 	fmt.Fprintf(os.Stderr, "pipeline-bench: suite at -j %d...\n", jn)
-	outN, _, buildsN, tN := pipelineSuite(o, jn)
+	outN, _, statsN, tN := pipelineSuite(o, jn)
 
 	b.Suite.J1Seconds = t1.Seconds()
 	b.Suite.JN = jn
@@ -90,8 +94,12 @@ func runPipelineBench(path string, o options) error {
 	}
 	b.Suite.IdenticalOutput = out1 == outN
 	b.Suite.Simulations = sims
-	b.Suite.BuildsJ1 = builds1
-	b.Suite.BuildsJN = buildsN
+	b.Suite.BuildsJ1 = stats1.Builds
+	b.Suite.BuildsJN = statsN.Builds
+	b.Suite.MemoryHitsJ1 = stats1.MemoryHits
+	b.Suite.MemoryHitsJN = statsN.MemoryHits
+	b.Suite.DiskHitsJ1 = stats1.DiskHits
+	b.Suite.DiskHitsJN = statsN.DiskHits
 
 	// Steady-state simulator allocation rate: one warm run of the BASELINE
 	// machine over a cached build (build allocations excluded).
@@ -120,9 +128,10 @@ func runPipelineBench(path string, o options) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr,
-		"pipeline-bench: j=1 %.1fs, j=%d %.1fs (%.2fx), identical=%v, builds %d/%d, %.0f allocs/epoch -> %s\n",
+		"pipeline-bench: j=1 %.1fs, j=%d %.1fs (%.2fx), identical=%v, builds %d/%d (memory hits %d/%d), %.0f allocs/epoch -> %s\n",
 		b.Suite.J1Seconds, jn, b.Suite.JNSeconds, b.Suite.Speedup,
-		b.Suite.IdenticalOutput, builds1, buildsN, b.Sim.AllocsPerEpoch, path)
+		b.Suite.IdenticalOutput, stats1.Builds, statsN.Builds,
+		stats1.MemoryHits, statsN.MemoryHits, b.Sim.AllocsPerEpoch, path)
 	if !b.Suite.IdenticalOutput {
 		return fmt.Errorf("pipeline-bench: -j 1 and -j %d outputs differ", jn)
 	}

@@ -48,6 +48,7 @@ func main() {
 		debugAddr    = flag.String("debug-addr", "", "listen address for the diagnostics server (pprof, /debug/requests); empty disables it")
 		flightDir    = flag.String("flight-dir", filepath.Join(os.TempDir(), "tlsd-flight"), "directory for failure flight-recorder dumps; empty disables the recorder")
 		flightEvents = flag.Int("flight-events", 4096, "telemetry events retained per job for the flight recorder")
+		cacheDir     = cliflags.AddCacheDir(flag.CommandLine)
 		showVersion  = cliflags.AddVersion(flag.CommandLine)
 	)
 	// Server-wide hardening defaults, overlaid on jobs that don't set their
@@ -76,6 +77,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	store, err := cliflags.OpenStore(*cacheDir, logger)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlsd: %v\n", err)
+		os.Exit(2)
+	}
+	defer store.Close()
+	if store != nil {
+		fmt.Printf("tlsd: persistent cache at %s\n", store.Dir())
+	}
+
 	s := service.New(service.Options{
 		Workers:          *workers,
 		QueueDepth:       *queueDepth,
@@ -85,6 +96,7 @@ func main() {
 		Logger:           logger,
 		FlightDir:        *flightDir,
 		FlightEvents:     *flightEvents,
+		Store:            store,
 	})
 	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
 

@@ -54,6 +54,7 @@ func main() {
 		top         = flag.Int("top", 15, "number of dependences to report")
 		allOrNone   = flag.Bool("all-or-nothing", false, "profile without sub-threads")
 		jsonOut     = flag.Bool("json", false, "emit the dependence profile as JSON instead of text")
+		cacheDir    = cliflags.AddCacheDir(flag.CommandLine)
 		showVersion = cliflags.AddVersion(flag.CommandLine)
 	)
 	faults := cliflags.AddFaults(flag.CommandLine)
@@ -92,7 +93,16 @@ func main() {
 	}
 	outputs.Attach(&cfg)
 
-	built := workload.Build(spec, false)
+	store, err := cliflags.OpenStore(*cacheDir, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlsprof: %v\n", err)
+		os.Exit(2)
+	}
+	defer store.Close()
+	builder := workload.NewBuilder()
+	builder.SetStore(store)
+
+	built := builder.Build(spec, false)
 	res := sim.Run(cfg, built.Program)
 
 	if err := outputs.Write(built.PCs.Name); err != nil {

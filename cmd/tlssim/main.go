@@ -48,6 +48,7 @@ func main() {
 		jsonOut     = flag.Bool("json", false, "emit the measurement as JSON instead of text")
 		overflow    = flag.String("overflow", "", "victim-cache overflow policy: stall | squash")
 		checkRun    = flag.Bool("check", false, "verify the speculative run against the serial oracle before measuring")
+		cacheDir    = cliflags.AddCacheDir(flag.CommandLine)
 		showVersion = cliflags.AddVersion(flag.CommandLine)
 	)
 	faults := cliflags.AddFaults(flag.CommandLine)
@@ -145,8 +146,20 @@ func main() {
 	}
 	outputs.Attach(&cfg)
 
-	seqRes, _ := workload.Run(spec, workload.Sequential)
-	built := workload.Build(spec, exp.SequentialSoftware())
+	// With -cache-dir, both program builds go through the persistent store:
+	// a warm run decodes the recorded traces from disk instead of loading
+	// the database and re-recording them.
+	store, err := cliflags.OpenStore(*cacheDir, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlssim: %v\n", err)
+		os.Exit(2)
+	}
+	defer store.Close()
+	builder := workload.NewBuilder()
+	builder.SetStore(store)
+
+	seqRes, _ := builder.Run(spec, workload.Sequential)
+	built := builder.Build(spec, exp.SequentialSoftware())
 	res := sim.Run(cfg, built.Program)
 
 	if err := outputs.Write(built.PCs.Name); err != nil {

@@ -39,6 +39,7 @@ func main() {
 		subthreads  = flag.Int("subthreads", 0, "override sub-thread contexts per thread")
 		spacing     = flag.Uint64("spacing", 0, "override speculative instructions per sub-thread")
 		eventsOut   = flag.String("events-out", "", "raw event stream JSONL output")
+		cacheDir    = cliflags.AddCacheDir(flag.CommandLine)
 		showVersion = cliflags.AddVersion(flag.CommandLine)
 	)
 	faults := cliflags.AddFaults(flag.CommandLine)
@@ -107,7 +108,16 @@ func main() {
 	}
 	outputs.Attach(&cfg, extra...)
 
-	built := workload.Build(spec, exp.SequentialSoftware())
+	store, err := cliflags.OpenStore(*cacheDir, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlstrace: %v\n", err)
+		os.Exit(2)
+	}
+	defer store.Close()
+	builder := workload.NewBuilder()
+	builder.SetStore(store)
+
+	built := builder.Build(spec, exp.SequentialSoftware())
 	res := sim.Run(cfg, built.Program)
 	if jsonl != nil {
 		if err := jsonl.Flush(); err != nil {

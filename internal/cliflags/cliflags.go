@@ -8,8 +8,10 @@ package cliflags
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
+	"subthreads/internal/cas"
 	"subthreads/internal/inject"
 	"subthreads/internal/isa"
 	"subthreads/internal/sim"
@@ -156,6 +158,31 @@ func writeFile(path string, write func(*os.File) error) error {
 		return err
 	}
 	return f.Close()
+}
+
+// AddCacheDir registers -cache-dir on fs: the persistent content-addressed
+// store for build artifacts and results, shared by every command. Empty —
+// the default — keeps the caches in-memory only, exactly the behavior
+// before the flag existed.
+func AddCacheDir(fs *flag.FlagSet) *string {
+	return fs.String("cache-dir", "",
+		"persistent cache directory for build artifacts and results (empty = in-memory only)")
+}
+
+// OpenStore opens the persistent store for a -cache-dir value. "" returns a
+// nil store — every cas.Store method is a safe no-op on nil, so call sites
+// never branch on whether persistence is enabled. logger (may be nil)
+// receives the store's corruption/quarantine diagnostics. The caller owns
+// Close (a nil store's Close is also a no-op).
+func OpenStore(dir string, logger *slog.Logger) (*cas.Store, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	s, err := cas.Open(dir, cas.Options{Logger: logger})
+	if err != nil {
+		return nil, fmt.Errorf("open cache dir %s: %w", dir, err)
+	}
+	return s, nil
 }
 
 // AddVersion registers -version on fs.

@@ -39,7 +39,8 @@ func (s *Server) writeProm(w io.Writer) error {
 	p.Counter("tlsd_jobs_rejected_total", "Submissions rejected because the queue was full.", m.JobsRejected)
 
 	p.Gauge("tlsd_cache_entries", "Distinct digests with a live job or stored result.", float64(m.CacheEntries))
-	p.Counter("tlsd_cache_hits_total", "Submissions served from the content-addressed result cache.", m.CacheHits)
+	p.Counter("tlsd_cache_hits_total", "Submissions served from the in-memory result cache.", m.CacheHits)
+	p.Counter("tlsd_cache_disk_hits_total", "Submissions served from the persistent result store.", m.CacheDiskHits)
 	p.Counter("tlsd_cache_misses_total", "Submissions that required a new simulation.", m.CacheMisses)
 	p.Counter("tlsd_cache_deduped_total", "Submissions attached to an already in-flight duplicate.", m.DedupedInFlight)
 	p.Gauge("tlsd_cache_hit_ratio", "Fraction of classified submissions served without new work (0 until the first job).", m.CacheHitRatio)
@@ -47,11 +48,28 @@ func (s *Server) writeProm(w io.Writer) error {
 	p.Histogram("tlsd_job_cold_latency_microseconds",
 		"Submit-to-terminal latency of executed jobs.", m.ColdLatencyMicros)
 	p.Histogram("tlsd_cache_hit_latency_microseconds",
-		"Lookup latency of cache-hit submissions.", m.HitLatencyMicros)
+		"Lookup latency of memory cache-hit submissions.", m.HitLatencyMicros)
+	p.Histogram("tlsd_cache_disk_hit_latency_microseconds",
+		"Lookup latency of disk-warm hit submissions (includes the store read).", m.DiskHitLatencyMicros)
 	for st := stage(0); st < numStages; st++ {
 		p.Histogram("tlsd_job_stage_latency_microseconds",
 			"Executed-job latency by pipeline stage (queue wait, workload build, simulation, result render).",
 			m.stageSnapshot(st), telemetry.PromLabel{Name: "stage", Value: st.String()})
+	}
+
+	if m.CAS != nil {
+		c := m.CAS
+		p.Counter("tlsd_cas_hit_total", "Persistent-store reads that found a valid entry.", c.Hits)
+		p.Counter("tlsd_cas_miss_total", "Persistent-store reads that found nothing servable.", c.Misses)
+		p.Counter("tlsd_cas_put_total", "Entries published to the persistent store.", c.Puts)
+		p.Counter("tlsd_cas_eviction_total", "Entries evicted to stay under the store's size cap.", c.Evictions)
+		p.Counter("tlsd_cas_corrupt_total", "Entries quarantined as corrupt or undecodable.", c.Corrupt)
+		p.Gauge("tlsd_cas_entries", "Entries resident in the persistent store.", float64(c.Entries))
+		p.Gauge("tlsd_cas_size_bytes", "Bytes resident in the persistent store.", float64(c.Bytes))
+		p.Histogram("tlsd_cas_load_latency_microseconds",
+			"Latency of persistent-store disk reads (hits only).", c.LoadMicros)
+		p.Histogram("tlsd_cas_store_latency_microseconds",
+			"Latency of persistent-store disk writes.", c.StoreMicros)
 	}
 	return p.Flush()
 }

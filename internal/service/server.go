@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"subthreads/internal/cas"
 	"subthreads/internal/inject"
 	"subthreads/internal/report"
 	"subthreads/internal/sim"
@@ -49,7 +50,17 @@ type Options struct {
 	FlightDir string
 	// FlightEvents caps the per-job flight ring; default 4096.
 	FlightEvents int
+	// Store is the persistent content-addressed tier shared by the build
+	// cache and the result cache. With a store, a restarted daemon serves
+	// previously-computed results from byte one — no database load, no
+	// trace recording, no simulation — and rebuilds nothing whose program
+	// is already on disk. nil keeps both caches memory-only.
+	Store *cas.Store
 }
+
+// casResultNS is the store namespace for rendered result bodies, keyed by
+// the resolved job digest — the same digest that keys the in-memory cache.
+const casResultNS = "result"
 
 // ErrQueueFull rejects a submission because the admission queue is at
 // capacity; the HTTP layer maps it to 429 + Retry-After.
@@ -72,6 +83,7 @@ func (e *BadSpecError) Unwrap() error { return e.Err }
 type Server struct {
 	opts    Options
 	builder *workload.Builder
+	store   *cas.Store // nil = no persistent tier
 	mux     httpMux
 	log     *slog.Logger // nil = logging disabled
 	started time.Time
@@ -87,16 +99,18 @@ type Server struct {
 
 	// Metrics (guarded by mu). Latencies reuse the telemetry histogram so
 	// /metrics speaks the same snapshot schema as the simulator's metrics.
-	submitted   uint64
-	completed   uint64
-	failed      uint64
-	cacheHits   uint64 // digest hit on a completed job: result served as-is
-	deduped     uint64 // digest hit on a queued/running job: attached, no new work
-	cacheMisses uint64
-	rejected    uint64
-	inFlight    int
-	coldMicros  telemetry.Histogram // submit -> terminal, simulated jobs
-	hitMicros   telemetry.Histogram // lookup time of cache-hit submissions
+	submitted     uint64
+	completed     uint64
+	failed        uint64
+	cacheHits     uint64 // digest hit on a completed job: result served as-is
+	deduped       uint64 // digest hit on a queued/running job: attached, no new work
+	diskHits      uint64 // digest hit in the persistent store: served from disk
+	cacheMisses   uint64
+	rejected      uint64
+	inFlight      int
+	coldMicros    telemetry.Histogram // submit -> terminal, simulated jobs
+	hitMicros     telemetry.Histogram // lookup time of memory cache-hit submissions
+	diskHitMicros telemetry.Histogram // lookup time of disk-warm hit submissions
 	// stageMicros breaks the cold path down by pipeline segment (queue
 	// wait, build, sim, render) for every executed job.
 	stageMicros [numStages]telemetry.Histogram
@@ -117,12 +131,15 @@ func New(opts Options) *Server {
 	s := &Server{
 		opts:     opts,
 		builder:  workload.NewBuilder(),
+		store:    opts.Store,
 		log:      opts.Logger,
 		started:  time.Now(),
 		queue:    make(chan *Job, opts.QueueDepth),
 		jobs:     make(map[string]*Job),
 		byDigest: make(map[string]*Job),
 	}
+	s.builder.SetStore(opts.Store)
+	s.builder.SetLogger(opts.Logger)
 	s.routes()
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
@@ -171,7 +188,7 @@ func (s *Server) SubmitCorrelated(spec JobSpec, corr string) (j *Job, hit bool, 
 		return nil, false, &BadSpecError{Err: err}
 	}
 
-	j, hit, queueLen, err := s.admit(spec, r, corr, start)
+	j, hit, disk, queueLen, err := s.admit(spec, r, corr, start)
 	switch {
 	case err != nil:
 		s.jlog(slog.LevelWarn, "job rejected",
@@ -184,6 +201,12 @@ func (s *Server) SubmitCorrelated(spec JobSpec, corr string) (j *Job, hit bool, 
 			slog.String("job", j.id),
 			slog.String("digest", r.Digest),
 			slog.Int("queue_len", queueLen))
+	case disk:
+		s.jlog(slog.LevelInfo, "job disk-warm hit",
+			slog.String("correlation_id", corr),
+			slog.String("job", j.id),
+			slog.String("digest", r.Digest),
+			slog.Int("bytes", len(j.Result())))
 	case j.State() == StateDone:
 		s.jlog(slog.LevelInfo, "job cache hit",
 			slog.String("correlation_id", corr),
@@ -200,24 +223,49 @@ func (s *Server) SubmitCorrelated(spec JobSpec, corr string) (j *Job, hit bool, 
 	return j, hit, err
 }
 
-// admit is the locked core of SubmitCorrelated.
-func (s *Server) admit(spec JobSpec, r *Resolved, corr string, start time.Time) (j *Job, hit bool, queueLen int, err error) {
+// admit is the tiered core of SubmitCorrelated: memory (an existing job for
+// this digest), then the persistent store (a result computed by an earlier
+// process — or an earlier life of this one), then a real enqueue. Disk I/O
+// happens outside the server lock; cas single-flights concurrent loads of
+// one key, and the locked re-check after the probe keeps the first
+// installation the winner.
+func (s *Server) admit(spec JobSpec, r *Resolved, corr string, start time.Time) (j *Job, hit, disk bool, queueLen int, err error) {
+	s.mu.Lock()
+	s.submitted++
+	if prev, served := s.memoryHitLocked(r.Digest, start); served {
+		s.mu.Unlock()
+		return prev, true, false, len(s.queue), nil
+	}
+	s.mu.Unlock()
+
+	if body, ok := s.store.Get(casResultNS, r.Digest); ok {
+		now := time.Now()
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		// Another submission may have installed this digest while we were
+		// reading the disk; serve that one instead of replacing it.
+		if prev, served := s.memoryHitLocked(r.Digest, start); served {
+			return prev, true, false, len(s.queue), nil
+		}
+		s.nextID++
+		j = newJob("job-"+strconv.FormatUint(s.nextID, 10), corr, spec, r, start, 0)
+		j.finish(body, nil, now)
+		s.jobs[j.id] = j
+		s.byDigest[r.Digest] = j
+		s.diskHits++
+		s.diskHitMicros.Observe(uint64(time.Since(start).Microseconds()))
+		return j, true, true, len(s.queue), nil
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.submitted++
-	// A failed job never serves as a hit (its digest claim is dropped on
-	// failure; the state check covers the window before the drop).
-	if prev := s.byDigest[r.Digest]; prev != nil && prev.State() != StateFailed {
-		if prev.State() == StateDone {
-			s.cacheHits++
-			s.hitMicros.Observe(uint64(time.Since(start).Microseconds()))
-		} else {
-			s.deduped++
-		}
-		return prev, true, len(s.queue), nil
+	// Re-check: a duplicate submission may have enqueued while we missed
+	// the disk.
+	if prev, served := s.memoryHitLocked(r.Digest, start); served {
+		return prev, true, false, len(s.queue), nil
 	}
 	if s.draining {
-		return nil, false, 0, ErrDraining
+		return nil, false, false, 0, ErrDraining
 	}
 	s.cacheMisses++
 	s.nextID++
@@ -231,11 +279,28 @@ func (s *Server) admit(spec JobSpec, r *Resolved, corr string, start time.Time) 
 	default:
 		s.rejected++
 		s.cacheMisses-- // never admitted; keep the hit ratio honest
-		return nil, false, 0, ErrQueueFull
+		return nil, false, false, 0, ErrQueueFull
 	}
 	s.jobs[j.id] = j
 	s.byDigest[r.Digest] = j
-	return j, false, len(s.queue), nil
+	return j, false, false, len(s.queue), nil
+}
+
+// memoryHitLocked classifies a digest hit on an existing job and counts it.
+// A failed job never serves as a hit (its digest claim is dropped on
+// failure; the state check covers the window before the drop).
+func (s *Server) memoryHitLocked(digest string, start time.Time) (*Job, bool) {
+	prev := s.byDigest[digest]
+	if prev == nil || prev.State() == StateFailed {
+		return nil, false
+	}
+	if prev.State() == StateDone {
+		s.cacheHits++
+		s.hitMicros.Observe(uint64(time.Since(start).Microseconds()))
+	} else {
+		s.deduped++
+	}
+	return prev, true
 }
 
 // Job looks a job up by ID.
@@ -328,6 +393,13 @@ func (s *Server) runJob(j *Job) {
 	}
 	s.coldMicros.Observe(uint64(finished.Sub(j.submitted).Microseconds()))
 	s.mu.Unlock()
+
+	if failure == nil {
+		// Publish the rendered body so a future process — or this one
+		// after a restart — serves the digest from disk. Outside the lock:
+		// Put is disk I/O.
+		s.store.Put(casResultNS, j.res.Digest, body)
+	}
 
 	if failure != nil {
 		s.jlog(slog.LevelError, "job failed",
@@ -490,12 +562,19 @@ type Metrics struct {
 
 	CacheEntries    int     `json:"cache_entries"`
 	CacheHits       uint64  `json:"cache_hits"`
+	CacheDiskHits   uint64  `json:"cache_disk_hits"`
 	CacheMisses     uint64  `json:"cache_misses"`
 	DedupedInFlight uint64  `json:"deduped_in_flight"`
 	CacheHitRatio   float64 `json:"cache_hit_ratio"`
 
-	ColdLatencyMicros telemetry.HistogramSnapshot `json:"cold_latency_micros"`
-	HitLatencyMicros  telemetry.HistogramSnapshot `json:"cache_hit_latency_micros"`
+	ColdLatencyMicros    telemetry.HistogramSnapshot `json:"cold_latency_micros"`
+	HitLatencyMicros     telemetry.HistogramSnapshot `json:"cache_hit_latency_micros"`
+	DiskHitLatencyMicros telemetry.HistogramSnapshot `json:"disk_hit_latency_micros"`
+
+	// CAS is the persistent store's own view — hits, misses, evictions,
+	// quarantined entries, resident set, and disk I/O latencies. nil when
+	// the daemon runs without a cache directory.
+	CAS *cas.Stats `json:"cas,omitempty"`
 
 	// Per-stage breakdown of the cold path, observed once per executed job:
 	// queue wait, workload build, simulation, result render.
@@ -538,19 +617,25 @@ func (s *Server) MetricsSnapshot() Metrics {
 
 		CacheEntries:    len(s.byDigest),
 		CacheHits:       s.cacheHits,
+		CacheDiskHits:   s.diskHits,
 		CacheMisses:     s.cacheMisses,
 		DedupedInFlight: s.deduped,
 
-		ColdLatencyMicros: s.coldMicros.Snapshot(),
-		HitLatencyMicros:  s.hitMicros.Snapshot(),
+		ColdLatencyMicros:    s.coldMicros.Snapshot(),
+		HitLatencyMicros:     s.hitMicros.Snapshot(),
+		DiskHitLatencyMicros: s.diskHitMicros.Snapshot(),
 
 		QueueWaitMicros:     s.stageMicros[stageQueue].Snapshot(),
 		BuildLatencyMicros:  s.stageMicros[stageBuild].Snapshot(),
 		SimLatencyMicros:    s.stageMicros[stageSim].Snapshot(),
 		RenderLatencyMicros: s.stageMicros[stageRender].Snapshot(),
 	}
-	if served := m.CacheHits + m.DedupedInFlight + m.CacheMisses; served > 0 {
-		m.CacheHitRatio = float64(m.CacheHits+m.DedupedInFlight) / float64(served)
+	if s.store != nil {
+		st := s.store.Stats()
+		m.CAS = &st
+	}
+	if served := m.CacheHits + m.CacheDiskHits + m.DedupedInFlight + m.CacheMisses; served > 0 {
+		m.CacheHitRatio = float64(m.CacheHits+m.CacheDiskHits+m.DedupedInFlight) / float64(served)
 	}
 	return m
 }
@@ -558,3 +643,7 @@ func (s *Server) MetricsSnapshot() Metrics {
 // Builds reports how many distinct workload builds the shared cache has
 // performed (test instrumentation).
 func (s *Server) Builds() int { return s.builder.Builds() }
+
+// BuildStats reports the build cache's tier breakdown: memory hits, disk
+// (persistent-store) hits, and real builds.
+func (s *Server) BuildStats() workload.BuildStats { return s.builder.Stats() }

@@ -646,6 +646,13 @@ func TestBenchReportShape(t *testing.T) {
 	if inWorker > rep.ColdLatencyMS {
 		t.Errorf("stage sum %.3fms exceeds cold latency %.3fms", inWorker, rep.ColdLatencyMS)
 	}
+	// The warm-restart phase: every spec served from disk, nothing rebuilt.
+	if rep.DiskWarmHits != uint64(rep.DistinctSpecs) || rep.DiskWarmBuilds != 0 {
+		t.Errorf("disk-warm phase off: %+v", rep)
+	}
+	if rep.DiskWarmHitLatencyMicros <= 0 {
+		t.Errorf("disk-warm latency empty: %+v", rep)
+	}
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	if err := enc.Encode(rep); err != nil {

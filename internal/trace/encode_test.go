@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"subthreads/internal/isa"
+)
+
+// sampleTrace exercises every event kind, including back-to-back ALU runs
+// (which the Builder merges) and a run length > 1.
+func sampleTrace() *Trace {
+	b := NewBuilder()
+	b.ALU(3)
+	b.ALU(2) // merges with the run above
+	b.Load(isa.PC(7), 0x1000)
+	b.Store(isa.PC(8), 0x1008)
+	b.Branch(isa.PC(9), true)
+	b.Branch(isa.PC(9), false)
+	b.Op(isa.IntMul)
+	b.Op(isa.IntDiv)
+	b.LatchAcquire(isa.PC(10), 0x2000)
+	b.ALU(1)
+	b.LatchRelease(isa.PC(10), 0x2000)
+	return b.Finish()
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	want := sampleTrace()
+	enc := want.AppendBinary(nil)
+	got, rest, err := DecodeBinary(enc)
+	if err != nil {
+		t.Fatalf("DecodeBinary: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("DecodeBinary left %d bytes unconsumed", len(rest))
+	}
+	if !reflect.DeepEqual(got.Events(), want.Events()) {
+		t.Fatalf("events round-trip mismatch:\n got %v\nwant %v", got.Events(), want.Events())
+	}
+	if got.Instrs() != want.Instrs() {
+		t.Fatalf("instrs = %d, want %d", got.Instrs(), want.Instrs())
+	}
+	for k := isa.Kind(0); int(k) < isa.NumKinds; k++ {
+		if got.Count(k) != want.Count(k) {
+			t.Fatalf("count[%v] = %d, want %d", k, got.Count(k), want.Count(k))
+		}
+	}
+}
+
+// Encoding is prefix-framed: two traces concatenate and decode back in order.
+func TestBinaryConcatenation(t *testing.T) {
+	a := sampleTrace()
+	b := NewBuilder()
+	b.ALU(42)
+	second := b.Finish()
+
+	buf := a.AppendBinary(nil)
+	buf = second.AppendBinary(buf)
+
+	gotA, rest, err := DecodeBinary(buf)
+	if err != nil {
+		t.Fatalf("decode first: %v", err)
+	}
+	gotB, rest, err := DecodeBinary(rest)
+	if err != nil {
+		t.Fatalf("decode second: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+	if !reflect.DeepEqual(gotA.Events(), a.Events()) || !reflect.DeepEqual(gotB.Events(), second.Events()) {
+		t.Fatal("concatenated traces decoded out of order")
+	}
+}
+
+// Garbage and truncation must produce errors, never panics.
+func TestDecodeRejectsMalformed(t *testing.T) {
+	valid := sampleTrace().AppendBinary(nil)
+	cases := map[string][]byte{
+		"empty":          {},
+		"truncated":      valid[:len(valid)/2],
+		"bad kind":       {1, 0xff},
+		"zero alu run":   {1, byte(isa.ALU), 0},
+		"truncated alu":  {1, byte(isa.ALU)},
+		"huge count":     {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01},
+		"missing events": {5},
+	}
+	for name, data := range cases {
+		if _, _, err := DecodeBinary(data); err == nil {
+			t.Errorf("%s: DecodeBinary accepted malformed input", name)
+		}
+	}
+}

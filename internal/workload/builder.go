@@ -1,11 +1,17 @@
 package workload
 
 import (
+	"log/slog"
 	"sync"
 	"sync/atomic"
 
+	"subthreads/internal/cas"
 	"subthreads/internal/sim"
 )
+
+// casNamespace is where serialized Built programs live inside a cas.Store,
+// keyed by CacheKey(spec, sequential).
+const casNamespace = "built"
 
 // buildKey identifies one distinct binary: the benchmark spec plus which
 // software mode (sequential vs. TLS-transformed) it was compiled for. Spec is
@@ -15,8 +21,9 @@ type buildKey struct {
 	Sequential bool
 }
 
-// buildEntry is a single-flight cell: the first caller runs Build inside the
-// once; every concurrent or later caller waits on it and shares the result.
+// buildEntry is a single-flight cell: the first caller runs the fill (disk
+// probe, then Build) inside the once; every concurrent or later caller waits
+// on it and shares the result.
 type buildEntry struct {
 	once  sync.Once
 	built *Built
@@ -28,20 +35,42 @@ type buildEntry struct {
 // TestBuiltImmutable), so one cached program can back any number of
 // concurrent machines.
 //
-// A Builder is safe for concurrent use. The zero value is ready to use.
+// With SetStore, the memory map gains a persistent tier underneath: a miss
+// first probes the content-addressed store for a serialized Built (decoded
+// without touching the database engine at all — the warm-restart path), and
+// only a disk miss runs the real Build, whose result is then published for
+// the next process. Lookup is three-level: memory → disk → build.
+//
+// A Builder is safe for concurrent use. The zero value is ready to use
+// (memory-only).
 type Builder struct {
-	mu     sync.Mutex
-	cache  map[buildKey]*buildEntry
-	builds atomic.Int64
+	mu    sync.Mutex
+	cache map[buildKey]*buildEntry
+
+	store  *cas.Store // nil = no persistent tier
+	logger *slog.Logger
+
+	calls    atomic.Int64 // every Build call
+	builds   atomic.Int64 // fills that ran the real Build
+	diskHits atomic.Int64 // fills served by decoding a store entry
 }
 
 // NewBuilder returns an empty build cache.
 func NewBuilder() *Builder { return &Builder{} }
 
+// SetStore attaches the persistent tier (nil detaches it). Call before
+// serving traffic; entries already memoized stay in memory either way.
+func (b *Builder) SetStore(s *cas.Store) { b.store = s }
+
+// SetLogger directs the builder's structured diagnostics (disk-entry decode
+// failures) to l. A nil logger disables logging.
+func (b *Builder) SetLogger(l *slog.Logger) { b.logger = l }
+
 // Build returns the memoized program for (spec, sequential), building it on
-// first use. Concurrent callers with the same key block until the one build
-// in flight completes.
+// first use. Concurrent callers with the same key block until the one fill
+// in flight — disk load or real build — completes.
 func (b *Builder) Build(spec Spec, sequential bool) *Built {
+	b.calls.Add(1)
 	key := buildKey{Spec: spec, Sequential: sequential}
 	b.mu.Lock()
 	if b.cache == nil {
@@ -54,15 +83,57 @@ func (b *Builder) Build(spec Spec, sequential bool) *Built {
 	}
 	b.mu.Unlock()
 	e.once.Do(func() {
-		b.builds.Add(1)
-		e.built = Build(spec, sequential)
+		e.built = b.fill(spec, sequential)
 	})
 	return e.built
 }
 
+// fill resolves a memory miss: disk first, then the real build (publishing
+// the result for the next process). A disk entry that fails to decode is
+// quarantined — never fatal — and the build runs as if it were absent.
+func (b *Builder) fill(spec Spec, sequential bool) *Built {
+	diskKey := CacheKey(spec, sequential)
+	if data, ok := b.store.Get(casNamespace, diskKey); ok {
+		built, err := DecodeBuilt(data)
+		if err == nil {
+			b.diskHits.Add(1)
+			return built
+		}
+		// The frame checksum was intact but the domain decode failed —
+		// e.g. an entry written by a different builtVersion under a stale
+		// key, or an encoder bug. Quarantine it and rebuild.
+		b.store.Quarantine(casNamespace, diskKey, err)
+		if b.logger != nil {
+			b.logger.Warn("built cache entry undecodable, rebuilding",
+				"key", diskKey, "sequential", sequential, "err", err)
+		}
+	}
+	b.builds.Add(1)
+	built := Build(spec, sequential)
+	b.store.Put(casNamespace, diskKey, EncodeBuilt(built))
+	return built
+}
+
+// BuildStats breaks Build calls down by which tier satisfied them.
+//
+// MemoryHits counts calls that found a filled (or in-flight) memory entry —
+// concurrent callers that waited on a fill in progress count as memory hits,
+// since they shared that fill rather than performing their own.
+type BuildStats struct {
+	MemoryHits int
+	DiskHits   int
+	Builds     int
+}
+
+// Stats returns the tier breakdown so far.
+func (b *Builder) Stats() BuildStats {
+	calls, builds, disk := int(b.calls.Load()), int(b.builds.Load()), int(b.diskHits.Load())
+	return BuildStats{MemoryHits: calls - builds - disk, DiskHits: disk, Builds: builds}
+}
+
 // Builds reports how many actual (non-cached) Build calls the cache has
 // performed — the acceptance check that a sweep builds each distinct binary
-// exactly once.
+// exactly once, and that a warm restart builds nothing at all.
 func (b *Builder) Builds() int { return int(b.builds.Load()) }
 
 // Run is workload.Run through the cache: it reuses the memoized program for

@@ -7,6 +7,9 @@
 # cache hit; scrape /metrics in both JSON and Prometheus form and lint the
 # exposition; force a structured failure and require its flight-recorder
 # dump; then SIGTERM the daemon and require a clean drain (exit 0).
+# Finally restart the daemon over the same -cache-dir and require the
+# first resubmission to be a disk-warm cache hit: byte-identical body,
+# zero build/sim work, and the CAS counters visible in both metric forms.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -21,7 +24,8 @@ go build -o "$TMP/tlsd" ./cmd/tlsd
 go build -o "$TMP/tlssim" ./cmd/tlssim
 
 "$TMP/tlsd" -addr "$ADDR" -debug-addr "$DEBUG_ADDR" -log-format json \
-    -flight-dir "$TMP/flight" >"$TMP/tlsd.log" 2>"$TMP/tlsd.jsonl" &
+    -flight-dir "$TMP/flight" -cache-dir "$TMP/cas" \
+    >"$TMP/tlsd.log" 2>"$TMP/tlsd.jsonl" &
 TLSD_PID=$!
 
 # Wait for readiness.
@@ -173,4 +177,72 @@ grep -q 'drained, bye' "$TMP/tlsd.log" || {
     exit 1
 }
 
-echo "tlsd-smoke: ok (job $JOB byte-identical, cache hit, clean exposition, flight record, clean drain)"
+# Warm restart: a fresh process over the same -cache-dir must serve the
+# spec from byte one — a cache hit on the very first submission, the same
+# bytes tlssim prints, and no build or simulation stage executed.
+"$TMP/tlsd" -addr "$ADDR" -log-format json -flight-dir "$TMP/flight" \
+    -cache-dir "$TMP/cas" >"$TMP/tlsd2.log" 2>"$TMP/tlsd2.jsonl" &
+TLSD2_PID=$!
+for i in $(seq 1 100); do
+    if curl -fsS "http://$ADDR/readyz" >/dev/null 2>&1; then
+        break
+    fi
+    if [ "$i" = 100 ]; then
+        echo "tlsd-smoke: restarted daemon never became ready" >&2
+        cat "$TMP/tlsd2.log" "$TMP/tlsd2.jsonl" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+curl -fsS -D "$TMP/warm.hdr" -X POST "http://$ADDR/v1/jobs" -d "$SPEC" >"$TMP/warm.json"
+if ! grep -qi '^X-Cache: hit' "$TMP/warm.hdr"; then
+    echo "tlsd-smoke: warm restart did not serve from the persistent cache:" >&2
+    cat "$TMP/warm.hdr" >&2
+    exit 1
+fi
+if ! cmp -s "$TMP/warm.json" "$TMP/cli.json"; then
+    echo "tlsd-smoke: disk-warm body differs from tlssim -json" >&2
+    diff "$TMP/cli.json" "$TMP/warm.json" >&2 || true
+    exit 1
+fi
+curl -fsS "http://$ADDR/metrics" | grep -q '"cache_disk_hits": 1' || {
+    echo "tlsd-smoke: /metrics does not show the disk-warm hit" >&2
+    curl -fsS "http://$ADDR/metrics" >&2
+    exit 1
+}
+curl -fsS -H 'Accept: text/plain' "http://$ADDR/metrics" >"$TMP/warm-metrics.prom"
+grep -q '^tlsd_cache_disk_hits_total 1$' "$TMP/warm-metrics.prom" || {
+    echo "tlsd-smoke: Prometheus exposition missing the disk-warm hit" >&2
+    cat "$TMP/warm-metrics.prom" >&2
+    exit 1
+}
+grep -Eq '^tlsd_cas_hit_total [1-9]' "$TMP/warm-metrics.prom" || {
+    echo "tlsd-smoke: Prometheus exposition missing CAS hit counter" >&2
+    cat "$TMP/warm-metrics.prom" >&2
+    exit 1
+}
+if grep -Eq 'tlsd_job_stage_latency_microseconds_count\{stage="(build|sim)"\} [1-9]' "$TMP/warm-metrics.prom"; then
+    echo "tlsd-smoke: warm restart ran build/sim work instead of serving from disk" >&2
+    cat "$TMP/warm-metrics.prom" >&2
+    exit 1
+fi
+PROMLINT_FILE="$TMP/warm-metrics.prom" go test -count=1 -run TestLintPromFile ./internal/telemetry >/dev/null || {
+    echo "tlsd-smoke: warm-restart Prometheus exposition failed the format linter" >&2
+    cat "$TMP/warm-metrics.prom" >&2
+    exit 1
+}
+grep -q '"msg":"job disk-warm hit"' "$TMP/tlsd2.jsonl" || {
+    echo "tlsd-smoke: structured log missing the disk-warm hit" >&2
+    cat "$TMP/tlsd2.jsonl" >&2
+    exit 1
+}
+kill -TERM "$TLSD2_PID"
+STATUS=0
+wait "$TLSD2_PID" || STATUS=$?
+if [ "$STATUS" != 0 ]; then
+    echo "tlsd-smoke: restarted daemon exited $STATUS on SIGTERM" >&2
+    cat "$TMP/tlsd2.log" "$TMP/tlsd2.jsonl" >&2
+    exit 1
+fi
+
+echo "tlsd-smoke: ok (job $JOB byte-identical, cache hit, clean exposition, flight record, clean drain, disk-warm restart)"
