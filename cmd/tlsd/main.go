@@ -41,7 +41,8 @@ func main() {
 		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker-pool size")
 		queueDepth   = flag.Int("queue", 64, "admission queue capacity (full queue responds 429)")
 		maxCycles    = flag.Uint64("max-cycles", 0, "default per-job cycle budget when the spec sets none (0 = unbounded)")
-		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "how long shutdown waits for in-flight jobs")
+		jobTimeout   = flag.Duration("job-timeout", 0, "end-to-end wall-clock deadline per job (queue wait included) when the spec sets no timeout_ms, and the ceiling when it does; 0 = no deadline")
+		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "shutdown grace period: jobs still live when it expires are cancelled and reported as structured \"drain\" failures")
 		benchOut     = flag.String("service-bench", "", "run the serving benchmark, write BENCH_service.json-style report to this file, and exit")
 		logFormat    = flag.String("log-format", "text", "structured log encoding: text or json")
 		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
@@ -49,6 +50,7 @@ func main() {
 		flightDir    = flag.String("flight-dir", filepath.Join(os.TempDir(), "tlsd-flight"), "directory for failure flight-recorder dumps; empty disables the recorder")
 		flightEvents = flag.Int("flight-events", 4096, "telemetry events retained per job for the flight recorder")
 		cacheDir     = cliflags.AddCacheDir(flag.CommandLine)
+		chaosSpec    = cliflags.AddChaos(flag.CommandLine)
 		showVersion  = cliflags.AddVersion(flag.CommandLine)
 	)
 	// Server-wide hardening defaults, overlaid on jobs that don't set their
@@ -58,6 +60,11 @@ func main() {
 	cliflags.HandleVersion(*showVersion)
 
 	if _, err := faults.Config(); err != nil {
+		fmt.Fprintf(os.Stderr, "tlsd: %v\n", err)
+		os.Exit(2)
+	}
+	chaosSched, err := cliflags.OpenChaos(*chaosSpec)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "tlsd: %v\n", err)
 		os.Exit(2)
 	}
@@ -97,7 +104,12 @@ func main() {
 		FlightDir:        *flightDir,
 		FlightEvents:     *flightEvents,
 		Store:            store,
+		JobTimeout:       *jobTimeout,
+		Chaos:            chaosSched,
 	})
+	if chaosSched != nil {
+		fmt.Printf("tlsd: CHAOS ARMED (%s) — injected faults are deliberate\n", chaosSched.Config())
+	}
 	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -134,9 +146,15 @@ func main() {
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := s.Shutdown(drainCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "tlsd: drain incomplete: %v\n", err)
-		srv.Close()
-		os.Exit(1)
+		if !errors.Is(err, service.ErrDrainTimeout) {
+			fmt.Fprintf(os.Stderr, "tlsd: drain incomplete: %v\n", err)
+			srv.Close()
+			os.Exit(1)
+		}
+		// The grace period expired: the stragglers were cancelled and
+		// reported as structured "drain" failures, the pool was reaped, and
+		// shutdown is orderly — note it and exit cleanly.
+		fmt.Fprintf(os.Stderr, "tlsd: %v\n", err)
 	}
 	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "tlsd: %v\n", err)

@@ -93,6 +93,77 @@ type Stats struct {
 	StoreMicros telemetry.HistogramSnapshot `json:"store_micros"`
 }
 
+// DiskFault is one injected perturbation of a disk operation. The chaos
+// harness (internal/chaos) produces these on a seeded deterministic
+// schedule; the store consults its injector before each disk touch.
+type DiskFault struct {
+	// Delay stalls the operation before it runs, modeling a latency spike.
+	// The stall is charged to the operation's observed latency, so slow-call
+	// detectors (the service's breaker) see it.
+	Delay time.Duration
+	// Err fails the operation outright: a load reports a miss, a store is
+	// dropped (both paths the store already survives for real I/O errors).
+	Err error
+	// TornBytes, when > 0 on a store, truncates the on-disk frame to at
+	// most that many bytes while still reporting success to the writer —
+	// a torn write. The damage is latent: a later load fails frame
+	// validation and quarantines the entry.
+	TornBytes int
+}
+
+// FaultInjector supplies deterministic disk faults. The store asks before
+// every disk operation; op is "load" or "store". Implementations must be
+// safe for concurrent use (the store calls from many goroutines).
+type FaultInjector interface {
+	Disk(op string) (DiskFault, bool)
+}
+
+// SetFaults installs (or, with nil, removes) a fault injector. Safe on a
+// nil store. Test/chaos plumbing only — production opens never set one.
+func (s *Store) SetFaults(f FaultInjector) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.faults = f
+	s.mu.Unlock()
+}
+
+// SetObserver installs a per-operation outcome hook: op is "load" or
+// "store", d the operation's wall duration (injected delays included), and
+// failed reports an I/O error or corrupt entry — a clean miss (no such
+// entry) is not a failure. The service's circuit breaker feeds on this.
+// Called outside the store's lock. Safe on a nil store.
+func (s *Store) SetObserver(fn func(op string, d time.Duration, failed bool)) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.observer = fn
+	s.mu.Unlock()
+}
+
+// faultFor consults the installed injector, if any, for op.
+func (s *Store) faultFor(op string) (DiskFault, bool) {
+	s.mu.Lock()
+	inj := s.faults
+	s.mu.Unlock()
+	if inj == nil {
+		return DiskFault{}, false
+	}
+	return inj.Disk(op)
+}
+
+// observe reports one disk-operation outcome to the installed observer.
+func (s *Store) observe(op string, d time.Duration, failed bool) {
+	s.mu.Lock()
+	fn := s.observer
+	s.mu.Unlock()
+	if fn != nil {
+		fn(op, d, failed)
+	}
+}
+
 // entry is the accounting record of one on-disk file.
 type entry struct {
 	size int64  // header + payload bytes on disk
@@ -124,6 +195,9 @@ type Store struct {
 
 	hits, misses, puts, evictions, corrupt uint64
 	loadMicros, storeMicros                telemetry.Histogram
+
+	faults   FaultInjector
+	observer func(op string, d time.Duration, failed bool)
 }
 
 // Open opens (creating if needed) the store rooted at dir and rebuilds its
@@ -266,23 +340,37 @@ func (s *Store) Get(namespace, key string) (data []byte, ok bool) {
 // loadEntry reads and validates one entry file, maintaining the counters
 // and the LRU accounting.
 func (s *Store) loadEntry(rel string) ([]byte, bool) {
+	fault, injected := s.faultFor("load")
 	start := time.Now()
-	raw, err := os.ReadFile(filepath.Join(s.dir, rel))
+	if fault.Delay > 0 {
+		time.Sleep(fault.Delay)
+	}
+	var raw []byte
+	var err error
+	if injected && fault.Err != nil {
+		err = fault.Err
+	} else {
+		raw, err = os.ReadFile(filepath.Join(s.dir, rel))
+	}
 	if err != nil {
 		s.mu.Lock()
 		s.misses++
-		if e := s.entries[rel]; e != nil {
+		if e := s.entries[rel]; e != nil && errors.Is(err, fs.ErrNotExist) {
 			// The file vanished under us (another process evicted it);
 			// drop the stale accounting.
 			s.total -= e.size
 			delete(s.entries, rel)
 		}
 		s.mu.Unlock()
+		// A clean miss (no such entry) is healthy; anything else is the
+		// disk misbehaving and feeds slow/error detection.
+		s.observe("load", time.Since(start), !errors.Is(err, fs.ErrNotExist))
 		return nil, false
 	}
 	payload, err := decodeEntry(raw)
 	if err != nil {
 		s.quarantine(rel, int64(len(raw)), err)
+		s.observe("load", time.Since(start), true)
 		return nil, false
 	}
 
@@ -298,6 +386,7 @@ func (s *Store) loadEntry(rel string) ([]byte, bool) {
 		s.total += int64(len(raw))
 	}
 	s.mu.Unlock()
+	s.observe("load", time.Since(start), false)
 	return payload, true
 }
 
@@ -310,12 +399,27 @@ func (s *Store) Put(namespace, key string, payload []byte) {
 		return
 	}
 	rel := entryPath(namespace, key)
+	fault, injected := s.faultFor("store")
 	start := time.Now()
-	if err := writeFileAtomic(filepath.Join(s.dir, rel), encodeEntry(payload)); err != nil {
+	if fault.Delay > 0 {
+		time.Sleep(fault.Delay)
+	}
+	err := fault.Err
+	if !injected || err == nil {
+		frame := encodeEntry(payload)
+		if injected && fault.TornBytes > 0 && fault.TornBytes < len(frame) {
+			// Torn write: persist a truncated frame but report success.
+			// The checksum pass on a later load quarantines the debris.
+			frame = frame[:fault.TornBytes]
+		}
+		err = writeFileAtomic(filepath.Join(s.dir, rel), frame)
+	}
+	if err != nil {
 		if s.log != nil {
 			s.log.Warn("cas store failed",
 				slog.String("entry", rel), slog.String("error", err.Error()))
 		}
+		s.observe("store", time.Since(start), true)
 		return
 	}
 	size := int64(headerSize + len(payload))
@@ -334,6 +438,7 @@ func (s *Store) Put(namespace, key string, payload []byte) {
 	evicted := s.evictLocked(rel)
 	s.persistIndexLocked()
 	s.mu.Unlock()
+	s.observe("store", time.Since(start), false)
 
 	if s.log != nil {
 		for _, ev := range evicted {

@@ -1,0 +1,141 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestParseDefaultsAndOverrides(t *testing.T) {
+	cfg, err := Parse("seed=7,disk-err=4,slow-ms=20")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	want := DefaultConfig()
+	want.Seed, want.DiskErrEvery, want.SlowMS = 7, 4, 20
+	if cfg != want {
+		t.Errorf("Parse = %+v, want %+v", cfg, want)
+	}
+	for _, bad := range []string{"", "seed", "seed=x", "bogus=1"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted an invalid spec", bad)
+		}
+	}
+}
+
+func TestStringRoundTrips(t *testing.T) {
+	cfg, err := Parse("seed=9,torn=3,panic=2")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	back, err := Parse(cfg.String())
+	if err != nil || back != cfg {
+		t.Errorf("String round-trip: %+v -> %q -> %+v (%v)", cfg, cfg.String(), back, err)
+	}
+}
+
+// The reproducibility contract: equal seeds give equal fault sequences,
+// operation by operation.
+func TestScheduleIsDeterministic(t *testing.T) {
+	cfg, _ := Parse("seed=42,disk-err=3,slow=4,slow-ms=1,torn=5,panic=3")
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 500; i++ {
+		op := "load"
+		if i%3 == 0 {
+			op = "store"
+		}
+		fa, oka := a.Disk(op)
+		fb, okb := b.Disk(op)
+		if oka != okb || fa != fb {
+			t.Fatalf("op %d (%s): schedules diverged: %+v/%v vs %+v/%v", i, op, fa, oka, fb, okb)
+		}
+		ma, pa := a.WorkerPanic()
+		mb, pb := b.WorkerPanic()
+		if pa != pb || ma != mb {
+			t.Fatalf("job %d: panic schedules diverged", i)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Errorf("delivered-fault stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+func TestSeedsChangeTheSchedule(t *testing.T) {
+	mk := func(seed uint64) Stats {
+		c := New(Config{Seed: seed, DiskErrEvery: 3, SlowEvery: 4, SlowMS: 1, TornEvery: 5, PanicEvery: 3})
+		for i := 0; i < 300; i++ {
+			c.Disk("load")
+			c.Disk("store")
+			c.WorkerPanic()
+		}
+		return c.Stats()
+	}
+	if mk(1) == mk(2) {
+		t.Error("two different seeds delivered identical fault counts across every category")
+	}
+}
+
+func TestProportionsRoughlyHold(t *testing.T) {
+	const every, draws = 8, 4000
+	c := New(Config{Seed: 11, DiskErrEvery: every})
+	for i := 0; i < draws; i++ {
+		c.Disk("load")
+	}
+	got := c.Stats().DiskErrs
+	want := uint64(draws / every)
+	if got < want/2 || got > want*2 {
+		t.Errorf("1/%d schedule delivered %d faults over %d draws, want ~%d", every, got, draws, want)
+	}
+}
+
+func TestZeroKnobsDeliverNothing(t *testing.T) {
+	c := New(Config{Seed: 5})
+	for i := 0; i < 200; i++ {
+		if f, ok := c.Disk("load"); ok {
+			t.Fatalf("zero config injected %+v", f)
+		}
+		if f, ok := c.Disk("store"); ok {
+			t.Fatalf("zero config injected %+v", f)
+		}
+		if msg, ok := c.WorkerPanic(); ok {
+			t.Fatalf("zero config scheduled a panic: %s", msg)
+		}
+	}
+	if (c.Stats() != Stats{}) {
+		t.Errorf("zero config counted faults: %+v", c.Stats())
+	}
+}
+
+func TestInjectedErrIsRecognizable(t *testing.T) {
+	c := New(Config{Seed: 3, DiskErrEvery: 1})
+	f, ok := c.Disk("load")
+	if !ok || !errors.Is(f.Err, ErrInjected) {
+		t.Fatalf("every-op error schedule produced %+v, %v", f, ok)
+	}
+}
+
+func TestNilStatsSafe(t *testing.T) {
+	var c *Chaos
+	if (c.Stats() != Stats{}) {
+		t.Error("nil Chaos Stats not zero")
+	}
+}
+
+func TestTornWriteReportsSuccessShape(t *testing.T) {
+	c := New(Config{Seed: 13, TornEvery: 1})
+	sawTorn := false
+	for i := 0; i < 50; i++ {
+		f, ok := c.Disk("store")
+		if !ok {
+			continue
+		}
+		if f.Err != nil {
+			t.Fatalf("torn-only schedule injected a hard error: %+v", f)
+		}
+		if f.TornBytes > 0 {
+			sawTorn = true
+		}
+	}
+	if !sawTorn {
+		t.Error("torn=1 schedule never tore a write")
+	}
+}

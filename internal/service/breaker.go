@@ -1,0 +1,177 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states. The classic three-state machine: closed (disk trusted),
+// open (disk bypassed — the daemon serves memory and rebuilds), half-open
+// (one probe in flight deciding which way to go).
+const (
+	breakerClosed   = "closed"
+	breakerOpen     = "open"
+	breakerHalfOpen = "half-open"
+)
+
+// breaker is the circuit breaker around the disk CAS tier. It watches every
+// store operation through cas.Store's observer hook (an operation counts as
+// a failure if it errors or exceeds slowCall) and trips open after
+// threshold consecutive failures. While open, allow() short-circuits the
+// service's result-tier disk probes and publishes, so a sick disk degrades
+// the daemon to memory-plus-rebuild instead of dragging every request
+// through slow I/O. After cooldown, one probe is let through half-open: its
+// outcome closes or re-opens the circuit.
+//
+// The zero threshold/cooldown/slowCall values are replaced by defaults in
+// newBreaker. All methods are safe on a nil breaker (allow always true) so
+// a store-less server never branches.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	slowCall  time.Duration
+	now       func() time.Time       // test seam
+	onChange  func(from, to string)  // transition log hook; may be nil
+
+	mu       sync.Mutex
+	state    string
+	fails    int // consecutive failures while closed
+	openedAt time.Time
+	probing  bool // half-open: the single probe slot is taken
+	opens    uint64
+	shorts   uint64
+}
+
+// Breaker defaults: five consecutive failures open the circuit, a probe is
+// attempted after ten seconds, and a disk call slower than 250ms counts as
+// a failure even when it succeeds.
+const (
+	defaultBreakerThreshold = 5
+	defaultBreakerCooldown  = 10 * time.Second
+	defaultBreakerSlowCall  = 250 * time.Millisecond
+)
+
+func newBreaker(threshold int, cooldown, slowCall time.Duration) *breaker {
+	if threshold <= 0 {
+		threshold = defaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = defaultBreakerCooldown
+	}
+	if slowCall <= 0 {
+		slowCall = defaultBreakerSlowCall
+	}
+	return &breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		slowCall:  slowCall,
+		now:       time.Now,
+		state:     breakerClosed,
+	}
+}
+
+// allow reports whether a result-tier disk operation should be attempted.
+// false means short-circuit: skip the disk, serve from memory or rebuild.
+func (b *breaker) allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			b.shorts++
+			return false
+		}
+		b.setStateLocked(breakerHalfOpen)
+		b.probing = true
+		return true
+	case breakerHalfOpen:
+		if b.probing {
+			b.shorts++
+			return false
+		}
+		b.probing = true
+		return true
+	default:
+		return true
+	}
+}
+
+// observe feeds one disk-operation outcome into the state machine. Wired as
+// the cas.Store observer, so it sees the build cache's disk traffic too —
+// any tier's misbehavior is evidence about the same disk.
+func (b *breaker) observe(_ string, d time.Duration, failed bool) {
+	if b == nil {
+		return
+	}
+	bad := failed || d >= b.slowCall
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		if !bad {
+			b.fails = 0
+			return
+		}
+		b.fails++
+		if b.fails >= b.threshold {
+			b.tripLocked()
+		}
+	case breakerHalfOpen:
+		b.probing = false
+		if bad {
+			b.tripLocked()
+			return
+		}
+		b.setStateLocked(breakerClosed)
+		b.fails = 0
+	case breakerOpen:
+		// A straggler from before the trip; the probe decides, not this.
+	}
+}
+
+// tripLocked opens the circuit. Caller holds mu.
+func (b *breaker) tripLocked() {
+	b.setStateLocked(breakerOpen)
+	b.openedAt = b.now()
+	b.opens++
+	b.fails = 0
+	b.probing = false
+}
+
+// setStateLocked transitions and reports. Caller holds mu.
+func (b *breaker) setStateLocked(to string) {
+	if b.state == to {
+		return
+	}
+	from := b.state
+	b.state = to
+	if b.onChange != nil {
+		b.onChange(from, to)
+	}
+}
+
+// BreakerStats is the /metrics view of the breaker.
+type BreakerStats struct {
+	State               string `json:"state"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	Opens               uint64 `json:"opens"`
+	ShortCircuits       uint64 `json:"short_circuits"`
+}
+
+// stats snapshots the breaker. Safe on nil (a permanently closed circuit).
+func (b *breaker) stats() BreakerStats {
+	if b == nil {
+		return BreakerStats{State: breakerClosed}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{
+		State:               b.state,
+		ConsecutiveFailures: b.fails,
+		Opens:               b.opens,
+		ShortCircuits:       b.shorts,
+	}
+}

@@ -1,0 +1,198 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Client is a minimal retrying client for the daemon's job API, used by the
+// e2e suites and the future load generator. It submits synchronously
+// (?wait=1), classifies responses into permanent and retryable failures,
+// and retries the latter under a bounded budget with exponential backoff,
+// seeded jitter, and respect for the server's Retry-After — the well-
+// behaved client the service's backpressure design assumes.
+type Client struct {
+	// Base is the server's base URL (no trailing slash), e.g. the
+	// httptest.Server.URL in tests or http://localhost:8080 in production.
+	Base string
+	// HTTP is the underlying client; nil uses http.DefaultClient.
+	HTTP *http.Client
+	// Retries bounds the retry budget: up to Retries re-submissions after
+	// the first attempt (default 4).
+	Retries int
+	// BaseDelay seeds the exponential backoff (default 100ms); MaxDelay
+	// caps it (default 5s). A server Retry-After larger than the computed
+	// backoff wins.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Seed drives the backoff jitter, so tests get reproducible retry
+	// timing. 0 means seed 1.
+	Seed uint64
+
+	mu  sync.Mutex
+	rng uint64
+	up  bool
+}
+
+// PermanentError is a terminal client outcome: retrying cannot help
+// (invalid spec, quarantined digest, retry budget exhausted on failures).
+type PermanentError struct {
+	Status int
+	Msg    string
+}
+
+func (e *PermanentError) Error() string {
+	return fmt.Sprintf("service client: permanent failure (HTTP %d): %s", e.Status, e.Msg)
+}
+
+// Run submits spec and blocks until it has the result body or a permanent
+// failure, retrying retryable outcomes (queue full, draining, unmeetable
+// deadline, failed runs — a failed job's digest is released, so a retry is
+// a fresh attempt) within the budget. The returned bytes are byte-identical
+// to `tlssim -json` for the same spec.
+func (c *Client) Run(ctx context.Context, spec JobSpec) ([]byte, error) {
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("service client: encode spec: %w", err)
+	}
+	retries := c.Retries
+	if retries <= 0 {
+		retries = 4
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		body, retryAfter, retryable, err := c.once(ctx, payload)
+		if err == nil {
+			return body, nil
+		}
+		lastErr = err
+		if !retryable || attempt >= retries {
+			return nil, lastErr
+		}
+		delay := c.backoff(attempt)
+		if retryAfter > delay {
+			delay = retryAfter
+		}
+		select {
+		case <-ctx.Done():
+			return nil, context.Cause(ctx)
+		case <-time.After(delay):
+		}
+	}
+}
+
+// once performs a single synchronous submission.
+func (c *Client) once(ctx context.Context, payload []byte) (body []byte, retryAfter time.Duration, retryable bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.Base+"/v1/jobs?wait=1", bytes.NewReader(payload))
+	if err != nil {
+		return nil, 0, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		// Transport errors (daemon restarting, connection refused) are the
+		// canonical retryable failure.
+		return nil, 0, true, fmt.Errorf("service client: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, true, fmt.Errorf("service client: read response: %w", err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return data, 0, false, nil
+	case http.StatusBadRequest, http.StatusUnprocessableEntity:
+		// Invalid or quarantined: identical resubmissions keep failing
+		// until something else changes; don't spend the budget on them.
+		return nil, 0, false, &PermanentError{Status: resp.StatusCode, Msg: compact(data)}
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable,
+		http.StatusGone, http.StatusAccepted:
+		// Backpressure, drain, a failed run (its digest was released), or
+		// an async-shaped response: all worth retrying.
+		return nil, headerRetryAfter(resp), true,
+			fmt.Errorf("service client: retryable failure (HTTP %d): %s", resp.StatusCode, compact(data))
+	default:
+		return nil, 0, false, &PermanentError{Status: resp.StatusCode, Msg: compact(data)}
+	}
+}
+
+// backoff computes the delay before retry #attempt: exponential from
+// BaseDelay, capped at MaxDelay, scaled by a seeded jitter in [0.5, 1.5).
+func (c *Client) backoff(attempt int) time.Duration {
+	base := c.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := c.MaxDelay
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	d := base << uint(attempt)
+	if d <= 0 || d > max {
+		d = max
+	}
+	c.mu.Lock()
+	if !c.up {
+		c.rng = c.Seed
+		if c.rng == 0 {
+			c.rng = 1
+		}
+		c.up = true
+	}
+	r := clientSplitmix(&c.rng)
+	c.mu.Unlock()
+	jitter := 0.5 + float64(r%1024)/1024
+	return time.Duration(float64(d) * jitter)
+}
+
+// headerRetryAfter parses a whole-seconds Retry-After header (the only form
+// the daemon emits); 0 when absent or malformed.
+func headerRetryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// compact flattens an error-response body into one log-friendly line.
+func compact(data []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	s := string(data)
+	if len(s) > 200 {
+		s = s[:200] + "..."
+	}
+	return s
+}
+
+// clientSplitmix is the SplitMix64 step (shared idiom with internal/inject
+// and internal/chaos), giving the client deterministic jitter from a seed.
+func clientSplitmix(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -2,9 +2,11 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -18,10 +20,12 @@ type httpMux = *http.ServeMux
 // Handler returns the daemon's HTTP API, wrapped in the observability
 // middleware (per-request correlation IDs + structured access logging):
 //
-//	POST /v1/jobs                submit a JobSpec (JSON body)
-//	GET  /v1/jobs/{id}           job status
-//	GET  /v1/jobs/{id}/result    the result document (tlssim -json bytes)
-//	GET  /v1/jobs/{id}/events    live telemetry stream (Server-Sent Events)
+//	POST   /v1/jobs              submit a JobSpec (JSON body); ?wait=1
+//	                             blocks until the job is terminal
+//	GET    /v1/jobs/{id}         job status
+//	DELETE /v1/jobs/{id}         cancel a live job
+//	GET    /v1/jobs/{id}/result  the result document (tlssim -json bytes)
+//	GET    /v1/jobs/{id}/events  live telemetry stream (Server-Sent Events)
 //	GET  /healthz                liveness + build version
 //	GET  /readyz                 readiness (503 while draining)
 //	GET  /metrics                serving metrics snapshot (JSON, or
@@ -104,6 +108,7 @@ func (s *Server) routes() {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -127,13 +132,35 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// retrySeconds renders a Retry-After duration as whole seconds (ceiling,
+// minimum 1 — a zero Retry-After would mean "immediately", which is never
+// what a rejection wants to say).
+func retrySeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
 // handleSubmit admits a job. Responses:
 //
 //	200  digest hit on a completed job — the cached result body, verbatim
+//	     (also the terminal response of a ?wait=1 submission)
 //	202  admitted (or attached to an in-flight duplicate) — job status
 //	400  invalid spec
-//	429  queue full (Retry-After set)
+//	410  ?wait=1 submission whose job failed — status with the failure
+//	422  digest quarantined after repeated deterministic failures
+//	     (Retry-After = remaining quarantine)
+//	429  queue full, or the deadline provably can't be met (Retry-After
+//	     computed from queue depth × observed mean service time)
 //	503  draining
+//
+// Without ?wait=1 a submission is asynchronous and detaches the job: it
+// runs to completion no matter who stays connected. With ?wait=1 the
+// response blocks until the job is terminal, and the job is cancelled if
+// every waiting client disconnects first (nobody would ever see the
+// result).
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
@@ -143,13 +170,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j, hit, err := s.SubmitCorrelated(spec, correlationFrom(r.Context()))
+	var poisoned *PoisonedError
+	var unmeetable *UnmeetableDeadlineError
+	var full *QueueFullError
 	switch {
 	case err == nil:
-	case err == ErrQueueFull:
-		w.Header().Set("Retry-After", "1")
+	case errors.As(err, &full):
+		w.Header().Set("Retry-After", retrySeconds(full.RetryAfter))
 		writeError(w, http.StatusTooManyRequests, "queue full (capacity %d); retry later", s.opts.QueueDepth)
 		return
-	case err == ErrDraining:
+	case errors.As(err, &poisoned):
+		w.Header().Set("Retry-After", retrySeconds(poisoned.RetryAfter))
+		writeError(w, http.StatusUnprocessableEntity, "%v; retry after the quarantine expires", poisoned)
+		return
+	case errors.As(err, &unmeetable):
+		w.Header().Set("Retry-After", retrySeconds(unmeetable.RetryAfter))
+		writeError(w, http.StatusTooManyRequests, "%v", unmeetable)
+		return
+	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, "draining: admission stopped")
 		return
 	default:
@@ -172,6 +210,54 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	} else {
 		w.Header().Set("X-Cache", "miss")
 	}
+
+	if r.URL.Query().Get("wait") == "1" {
+		s.waitAndServe(w, r, j)
+		return
+	}
+	// Asynchronous submission: the submitter wants the job to run whether
+	// or not anyone stays connected.
+	j.detach()
+	writeJSON(w, http.StatusAccepted, j.StatusAt(time.Now()))
+}
+
+// waitAndServe blocks a ?wait=1 submission until its job is terminal, then
+// serves the result (200) or the failure status (410). A disconnect drops
+// the registration; the last waiter leaving a non-detached job cancels it.
+func (s *Server) waitAndServe(w http.ResponseWriter, r *http.Request, j *Job) {
+	j.addWaiter()
+	defer j.removeWaiter()
+	select {
+	case <-j.Done():
+	case <-r.Context().Done():
+		// Client gone: nothing to write. removeWaiter cancels the job if
+		// this was the last audience it had.
+		return
+	}
+	if j.State() == StateDone {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(j.Result())
+		return
+	}
+	writeJSON(w, http.StatusGone, j.StatusAt(time.Now()))
+}
+
+// handleCancel cancels a live job (DELETE /v1/jobs/{id}). Responses:
+//
+//	202  cancellation signalled — status (the terminal failure lands
+//	     within one watchdog/cancellation-poll interval)
+//	409  the job is already terminal — status, unchanged
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	switch j.State() {
+	case StateDone, StateFailed:
+		writeJSON(w, http.StatusConflict, j.StatusAt(time.Now()))
+		return
+	}
+	j.Cancel(errCancelRequested)
 	writeJSON(w, http.StatusAccepted, j.StatusAt(time.Now()))
 }
 

@@ -1,6 +1,8 @@
 package service
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"time"
 
@@ -73,6 +75,16 @@ type Job struct {
 	// done is closed when the job reaches a terminal state.
 	done chan struct{}
 
+	// ctx carries the job's deadline and cancellation signal; the worker
+	// threads it into sim.Config.Cancel and checks it between pipeline
+	// stages. nil on jobs that never execute (cache and disk-warm hits).
+	ctx context.Context
+	// cancelCause cancels ctx with an explicit cause — the cause picks the
+	// Failure kind ("timeout" | "cancelled" | "drain").
+	cancelCause context.CancelCauseFunc
+	// stopTimer releases the deadline timer once the job is terminal.
+	stopTimer context.CancelFunc
+
 	mu        sync.Mutex
 	spec      JobSpec
 	state     State
@@ -83,6 +95,16 @@ type Job struct {
 	finished  time.Time
 	body      []byte
 	failure   *Failure
+	// claimed settles the race between the worker that pops the job and a
+	// canceller that fires while it is still queued: exactly one of them
+	// executes/finishes the job.
+	claimed bool
+	// waiters counts live synchronous watchers (?wait=1 submissions);
+	// detached marks that at least one asynchronous submitter wants the
+	// result regardless of connections. A job whose last waiter disconnects
+	// with no detached submitter is cancelled — nobody is listening.
+	waiters  int
+	detached bool
 }
 
 func newJob(id, corr string, spec JobSpec, r *Resolved, now time.Time, flightEvents int) *Job {
@@ -101,6 +123,103 @@ func newJob(id, corr string, spec JobSpec, r *Resolved, now time.Time, flightEve
 		j.flight = telemetry.NewRing(flightEvents)
 	}
 	return j
+}
+
+// Cancellation causes: the cause a job context was cancelled with selects
+// the structured Failure kind reported for the abandoned run.
+var (
+	// errWatchersGone cancels a job whose last synchronous watcher
+	// disconnected with no asynchronous submitter attached.
+	errWatchersGone = errors.New("service: all watchers disconnected")
+	// errDrainCancelled cancels stragglers when the shutdown grace expires.
+	errDrainCancelled = errors.New("service: cancelled by shutdown drain")
+	// errCancelRequested cancels a job on DELETE /v1/jobs/{id}.
+	errCancelRequested = errors.New("service: cancelled by request")
+)
+
+// cancelKind maps a context cause onto the Failure kind.
+func cancelKind(cause error) string {
+	switch {
+	case errors.Is(cause, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(cause, errDrainCancelled):
+		return "drain"
+	default:
+		return "cancelled"
+	}
+}
+
+// arm attaches the job's cancellation context: an optional deadline of
+// timeout from now (the deadline covers queue wait too — it is the
+// submitter's end-to-end budget, not a running-time budget).
+func (j *Job) arm(timeout time.Duration, now time.Time) {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	j.cancelCause = cancel
+	if timeout > 0 {
+		j.ctx, j.stopTimer = context.WithDeadline(ctx, now.Add(timeout))
+	} else {
+		j.ctx, j.stopTimer = ctx, func() {}
+	}
+}
+
+// Cancel cancels the job with the given cause. A no-op on jobs without a
+// cancellation context (cache hits) and on already-terminal jobs (the
+// context fires, but nobody is listening anymore).
+func (j *Job) Cancel(cause error) {
+	if j.cancelCause != nil {
+		j.cancelCause(cause)
+	}
+}
+
+// release frees the context resources (deadline timer, cause slot) once the
+// job is terminal.
+func (j *Job) release() {
+	if j.stopTimer != nil {
+		j.stopTimer()
+	}
+	if j.cancelCause != nil {
+		j.cancelCause(context.Canceled)
+	}
+}
+
+// claim resolves who owns the job's execution: the first caller (the worker
+// that popped it, or a canceller that fired while it was queued) wins and
+// must drive it to a terminal state; everyone else backs off.
+func (j *Job) claim() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.claimed {
+		return false
+	}
+	j.claimed = true
+	return true
+}
+
+// detach marks that an asynchronous submitter wants the result regardless
+// of who stays connected: watcher bookkeeping never cancels a detached job.
+func (j *Job) detach() {
+	j.mu.Lock()
+	j.detached = true
+	j.mu.Unlock()
+}
+
+// addWaiter registers a synchronous watcher.
+func (j *Job) addWaiter() {
+	j.mu.Lock()
+	j.waiters++
+	j.mu.Unlock()
+}
+
+// removeWaiter drops a synchronous watcher; the last one leaving a live,
+// non-detached job cancels it — its result has no audience.
+func (j *Job) removeWaiter() {
+	j.mu.Lock()
+	j.waiters--
+	abandon := j.waiters == 0 && !j.detached && j.state != StateDone && j.state != StateFailed
+	j.mu.Unlock()
+	if abandon {
+		j.Cancel(errWatchersGone)
+	}
 }
 
 // ID returns the job identifier.

@@ -483,7 +483,9 @@ func TestMuxMethodConsistency(t *testing.T) {
 		{"GET", "/v1/jobs", "POST"},  // collection is submit-only
 		{"GET", "/v1/nothing", ""},   // unknown path stays 404
 		{"GET", "/debug/pprof/", ""}, // profiling is not on the public port
-		{"DELETE", "/v1/jobs/job-1", "GET"},
+		{"PUT", "/v1/jobs/job-1", "GET"},
+		{"PUT", "/v1/jobs/job-1", "DELETE"}, // cancel is a first-class method
+		{"DELETE", "/v1/jobs/job-1", ""},    // supported method, unknown job
 		{"POST", "/v1/jobs/job-1/result", "GET"},
 		{"POST", "/v1/jobs/job-1/events", "GET"},
 		{"POST", "/healthz", "GET"},

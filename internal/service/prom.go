@@ -37,6 +37,11 @@ func (s *Server) writeProm(w io.Writer) error {
 	p.Counter("tlsd_jobs_completed_total", "Jobs that finished with a servable result.", m.JobsCompleted)
 	p.Counter("tlsd_jobs_failed_total", "Jobs that ended in a structured failure.", m.JobsFailed)
 	p.Counter("tlsd_jobs_rejected_total", "Submissions rejected because the queue was full.", m.JobsRejected)
+	p.Counter("tlsd_jobs_timeout_total", "Jobs abandoned on their end-to-end deadline.", m.JobsTimedOut)
+	p.Counter("tlsd_jobs_cancelled_total", "Jobs abandoned by client disconnect, DELETE, or shutdown drain.", m.JobsCancelled)
+	p.Counter("tlsd_jobs_rejected_poisoned_total", "Submissions fast-failed on a quarantined digest.", m.JobsRejectedPoisoned)
+	p.Counter("tlsd_jobs_rejected_deadline_total", "Submissions rejected as provably unable to meet their deadline.", m.JobsRejectedDeadline)
+	p.Gauge("tlsd_poisoned_digests", "Digests currently in the poison quarantine window.", float64(m.PoisonedDigests))
 
 	p.Gauge("tlsd_cache_entries", "Distinct digests with a live job or stored result.", float64(m.CacheEntries))
 	p.Counter("tlsd_cache_hits_total", "Submissions served from the in-memory result cache.", m.CacheHits)
@@ -70,6 +75,36 @@ func (s *Server) writeProm(w io.Writer) error {
 			"Latency of persistent-store disk reads (hits only).", c.LoadMicros)
 		p.Histogram("tlsd_cas_store_latency_microseconds",
 			"Latency of persistent-store disk writes.", c.StoreMicros)
+	}
+	if m.Breaker != nil {
+		for _, st := range []string{breakerClosed, breakerOpen, breakerHalfOpen} {
+			v := 0.0
+			if m.Breaker.State == st {
+				v = 1
+			}
+			p.Gauge("tlsd_cas_breaker_state",
+				"Disk CAS tier circuit-breaker state (one-hot across the state label).",
+				v, telemetry.PromLabel{Name: "state", Value: st})
+		}
+		p.Counter("tlsd_cas_breaker_opens_total",
+			"Times the disk CAS tier circuit breaker tripped open.", m.Breaker.Opens)
+		p.Counter("tlsd_cas_breaker_short_circuits_total",
+			"Result-tier disk operations skipped while the breaker was open.", m.Breaker.ShortCircuits)
+	}
+	if m.Chaos != nil {
+		for _, f := range []struct {
+			kind string
+			n    uint64
+		}{
+			{"disk-err", m.Chaos.DiskErrs},
+			{"disk-slow", m.Chaos.DiskSlows},
+			{"torn-write", m.Chaos.TornWrite},
+			{"panic", m.Chaos.Panics},
+		} {
+			p.Counter("tlsd_chaos_faults_total",
+				"Faults the -chaos schedule has delivered, by kind.",
+				f.n, telemetry.PromLabel{Name: "kind", Value: f.kind})
+		}
 	}
 	return p.Flush()
 }

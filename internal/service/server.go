@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"subthreads/internal/cas"
+	"subthreads/internal/chaos"
 	"subthreads/internal/inject"
 	"subthreads/internal/report"
 	"subthreads/internal/sim"
@@ -56,6 +57,29 @@ type Options struct {
 	// trace recording, no simulation — and rebuilds nothing whose program
 	// is already on disk. nil keeps both caches memory-only.
 	Store *cas.Store
+	// JobTimeout is the server-wide end-to-end deadline applied to jobs
+	// that set no timeout_ms of their own, and the ceiling on the ones
+	// that do. 0 disables the default deadline (paper-scale runs can take
+	// arbitrarily long).
+	JobTimeout time.Duration
+	// PoisonThreshold quarantines a digest after this many deterministic
+	// failures within PoisonTTL (default 3); PoisonTTL is the sliding
+	// window and quarantine duration (default 10m). Quarantined digests
+	// fast-fail at admission (HTTP 422) instead of re-burning workers.
+	PoisonThreshold int
+	PoisonTTL       time.Duration
+	// Breaker knobs for the circuit around the disk CAS tier: consecutive
+	// failures to open (default 5), cooldown before a half-open probe
+	// (default 10s), and the latency above which a call counts as a
+	// failure (default 250ms). Zero values take the defaults; the breaker
+	// exists only when Store is set.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	BreakerSlowCall  time.Duration
+	// Chaos, when non-nil, arms the deterministic fault schedule: it is
+	// installed as the store's fault injector and consulted per job
+	// execution for worker panics. Test/soak plumbing — see internal/chaos.
+	Chaos *chaos.Chaos
 }
 
 // casResultNS is the store namespace for rendered result bodies, keyed by
@@ -84,6 +108,8 @@ type Server struct {
 	opts    Options
 	builder *workload.Builder
 	store   *cas.Store // nil = no persistent tier
+	breaker *breaker   // nil = no persistent tier to break around
+	chaos   *chaos.Chaos
 	mux     httpMux
 	log     *slog.Logger // nil = logging disabled
 	started time.Time
@@ -96,6 +122,7 @@ type Server struct {
 	nextID   uint64
 	jobs     map[string]*Job
 	byDigest map[string]*Job
+	poison   map[string]*poisonEntry
 
 	// Metrics (guarded by mu). Latencies reuse the telemetry histogram so
 	// /metrics speaks the same snapshot schema as the simulator's metrics.
@@ -107,6 +134,10 @@ type Server struct {
 	diskHits      uint64 // digest hit in the persistent store: served from disk
 	cacheMisses   uint64
 	rejected      uint64
+	timedOut      uint64 // jobs abandoned on their deadline ("timeout" failures)
+	cancelled     uint64 // jobs abandoned by disconnect/DELETE/drain
+	poisonRejects uint64 // submissions fast-failed on a quarantined digest
+	deadlineRej   uint64 // submissions rejected as unable to meet their deadline
 	inFlight      int
 	coldMicros    telemetry.Histogram // submit -> terminal, simulated jobs
 	hitMicros     telemetry.Histogram // lookup time of memory cache-hit submissions
@@ -128,18 +159,37 @@ func New(opts Options) *Server {
 	if opts.FlightEvents <= 0 {
 		opts.FlightEvents = 4096
 	}
+	if opts.PoisonThreshold <= 0 {
+		opts.PoisonThreshold = defaultPoisonThreshold
+	}
+	if opts.PoisonTTL <= 0 {
+		opts.PoisonTTL = defaultPoisonTTL
+	}
 	s := &Server{
 		opts:     opts,
 		builder:  workload.NewBuilder(),
 		store:    opts.Store,
+		chaos:    opts.Chaos,
 		log:      opts.Logger,
 		started:  time.Now(),
 		queue:    make(chan *Job, opts.QueueDepth),
 		jobs:     make(map[string]*Job),
 		byDigest: make(map[string]*Job),
+		poison:   make(map[string]*poisonEntry),
 	}
 	s.builder.SetStore(opts.Store)
 	s.builder.SetLogger(opts.Logger)
+	if opts.Store != nil {
+		s.breaker = newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, opts.BreakerSlowCall)
+		s.breaker.onChange = func(from, to string) {
+			s.jlog(slog.LevelWarn, "cas breaker state changed",
+				slog.String("from", from), slog.String("to", to))
+		}
+		opts.Store.SetObserver(s.breaker.observe)
+	}
+	if opts.Chaos != nil && opts.Store != nil {
+		opts.Store.SetFaults(opts.Chaos)
+	}
 	s.routes()
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
@@ -168,7 +218,8 @@ func (s *Server) normalize(spec JobSpec) JobSpec {
 // completed (a cache hit: the stored result serves without re-simulation)
 // or still in flight (deduplicated: the submission attaches to the one run)
 // — otherwise it enqueues a new job. hit reports whether the job already
-// existed. Errors: *BadSpecError, ErrQueueFull, ErrDraining.
+// existed. Errors: *BadSpecError, *QueueFullError (errors.Is ErrQueueFull),
+// *PoisonedError, *UnmeetableDeadlineError, ErrDraining.
 func (s *Server) Submit(spec JobSpec) (j *Job, hit bool, err error) {
 	return s.SubmitCorrelated(spec, "")
 }
@@ -236,25 +287,35 @@ func (s *Server) admit(spec JobSpec, r *Resolved, corr string, start time.Time) 
 		s.mu.Unlock()
 		return prev, true, false, len(s.queue), nil
 	}
+	// Poison quarantine: a digest that keeps failing deterministically
+	// fast-fails here instead of burning another worker. Checked before
+	// the disk probe too — a quarantined digest has no stored result.
+	if pe := s.poisonedLocked(r.Digest, start); pe != nil {
+		s.poisonRejects++
+		s.mu.Unlock()
+		return nil, false, false, 0, pe
+	}
 	s.mu.Unlock()
 
-	if body, ok := s.store.Get(casResultNS, r.Digest); ok {
-		now := time.Now()
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		// Another submission may have installed this digest while we were
-		// reading the disk; serve that one instead of replacing it.
-		if prev, served := s.memoryHitLocked(r.Digest, start); served {
-			return prev, true, false, len(s.queue), nil
+	if s.breaker.allow() {
+		if body, ok := s.store.Get(casResultNS, r.Digest); ok {
+			now := time.Now()
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			// Another submission may have installed this digest while we were
+			// reading the disk; serve that one instead of replacing it.
+			if prev, served := s.memoryHitLocked(r.Digest, start); served {
+				return prev, true, false, len(s.queue), nil
+			}
+			s.nextID++
+			j = newJob("job-"+strconv.FormatUint(s.nextID, 10), corr, spec, r, start, 0)
+			j.finish(body, nil, now)
+			s.jobs[j.id] = j
+			s.byDigest[r.Digest] = j
+			s.diskHits++
+			s.diskHitMicros.Observe(uint64(time.Since(start).Microseconds()))
+			return j, true, true, len(s.queue), nil
 		}
-		s.nextID++
-		j = newJob("job-"+strconv.FormatUint(s.nextID, 10), corr, spec, r, start, 0)
-		j.finish(body, nil, now)
-		s.jobs[j.id] = j
-		s.byDigest[r.Digest] = j
-		s.diskHits++
-		s.diskHitMicros.Observe(uint64(time.Since(start).Microseconds()))
-		return j, true, true, len(s.queue), nil
 	}
 
 	s.mu.Lock()
@@ -267,6 +328,22 @@ func (s *Server) admit(spec JobSpec, r *Resolved, corr string, start time.Time) 
 	if s.draining {
 		return nil, false, false, 0, ErrDraining
 	}
+	// Deadline-aware admission: reject a deadline the observed service
+	// rate and current backlog provably cannot meet, instead of admitting
+	// a job whose only possible outcome is a timeout failure.
+	timeout := s.jobTimeout(spec)
+	if timeout > 0 {
+		if svc, ok := s.meanServiceLocked(); ok {
+			if wait := s.backlogWaitLocked(svc); wait+svc > timeout {
+				s.deadlineRej++
+				return nil, false, false, 0, &UnmeetableDeadlineError{
+					Deadline:   timeout,
+					Estimate:   wait + svc,
+					RetryAfter: clampRetryAfter(wait),
+				}
+			}
+		}
+	}
 	s.cacheMisses++
 	s.nextID++
 	flightEvents := 0
@@ -274,15 +351,18 @@ func (s *Server) admit(spec JobSpec, r *Resolved, corr string, start time.Time) 
 		flightEvents = s.opts.FlightEvents
 	}
 	j = newJob("job-"+strconv.FormatUint(s.nextID, 10), corr, spec, r, start, flightEvents)
+	j.arm(timeout, start)
 	select {
 	case s.queue <- j:
 	default:
 		s.rejected++
 		s.cacheMisses-- // never admitted; keep the hit ratio honest
-		return nil, false, false, 0, ErrQueueFull
+		j.release()
+		return nil, false, false, 0, &QueueFullError{RetryAfter: s.retryAfterLocked()}
 	}
 	s.jobs[j.id] = j
 	s.byDigest[r.Digest] = j
+	go s.watchCancel(j)
 	return j, false, false, len(s.queue), nil
 }
 
@@ -318,10 +398,18 @@ func (s *Server) Draining() bool {
 	return s.draining
 }
 
+// ErrDrainTimeout reports that Shutdown's grace period expired and the
+// remaining jobs were cancelled (and reported as structured "drain"
+// failures) rather than waited out. The shutdown itself still completed
+// cleanly — the error is information, not a malfunction.
+var ErrDrainTimeout = errors.New("service: drain deadline exceeded; stragglers cancelled")
+
 // Shutdown stops admission (readiness flips immediately), drains every
-// queued and in-flight job, and stops the worker pool. It returns nil once
-// drained, or ctx's error if the deadline expires first (workers then
-// finish in the background).
+// queued and in-flight job, and stops the worker pool. It returns nil on a
+// clean drain. If ctx expires first, every straggler is cancelled — queued
+// jobs fail immediately, running simulations abort at their next
+// cancellation poll — and Shutdown waits for the pool to reap them before
+// returning ErrDrainTimeout. It never hangs forever on a stuck job.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
@@ -339,8 +427,34 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-drained:
 		return nil
 	case <-ctx.Done():
-		return ctx.Err()
 	}
+
+	n := s.cancelStragglers()
+	s.jlog(slog.LevelWarn, "drain deadline exceeded; stragglers cancelled",
+		slog.Int("jobs", n))
+	<-drained
+	if n > 0 {
+		return fmt.Errorf("%w (%d job(s))", ErrDrainTimeout, n)
+	}
+	return nil
+}
+
+// cancelStragglers cancels every non-terminal job with the drain cause and
+// reports how many there were.
+func (s *Server) cancelStragglers() int {
+	s.mu.Lock()
+	var live []*Job
+	for _, j := range s.jobs {
+		switch j.State() {
+		case StateQueued, StateRunning:
+			live = append(live, j)
+		}
+	}
+	s.mu.Unlock()
+	for _, j := range live {
+		j.Cancel(errDrainCancelled)
+	}
+	return len(live)
 }
 
 // worker drains the queue until Shutdown closes it.
@@ -357,8 +471,57 @@ func (s *Server) worker() {
 // without synchronizing with every worker.
 var testHookRunning atomic.Pointer[func(*Job)]
 
+// watchCancel finishes a job whose cancellation fires while it is still
+// queued: the worker that eventually pops it finds it claimed and skips.
+// Exits as soon as the job reaches a terminal state by any path.
+func (s *Server) watchCancel(j *Job) {
+	select {
+	case <-j.done:
+		return
+	case <-j.ctx.Done():
+	}
+	if !j.claim() {
+		// A worker owns the job; the in-run cancellation poll aborts it.
+		return
+	}
+	now := time.Now()
+	cause := context.Cause(j.ctx)
+	failure := &Failure{
+		Kind:  cancelKind(cause),
+		Error: cause.Error(),
+		Repro: j.res.ReproCommand(),
+	}
+	j.finish(nil, failure, now)
+	j.release()
+
+	s.mu.Lock()
+	s.failed++
+	if failure.Kind == "timeout" {
+		s.timedOut++
+	} else {
+		s.cancelled++
+	}
+	// The digest is free again immediately: a resubmission starts fresh
+	// instead of attaching to a corpse.
+	if s.byDigest[j.res.Digest] == j {
+		delete(s.byDigest, j.res.Digest)
+	}
+	s.mu.Unlock()
+	s.jlog(slog.LevelWarn, "job cancelled while queued",
+		slog.String("correlation_id", j.corr),
+		slog.String("job", j.id),
+		slog.String("digest", j.res.Digest),
+		slog.String("kind", failure.Kind),
+		slog.String("cause", cause.Error()))
+}
+
 // runJob executes one job end to end and publishes its terminal state.
 func (s *Server) runJob(j *Job) {
+	if !j.claim() {
+		// Cancelled while queued: watchCancel already finished it; popping
+		// it here freed its queue slot.
+		return
+	}
 	wait := j.setRunning(time.Now())
 	s.mu.Lock()
 	s.inFlight++
@@ -374,19 +537,32 @@ func (s *Server) runJob(j *Job) {
 	body, failure := s.execute(j)
 	finished := time.Now()
 	j.finish(body, failure, finished)
+	j.release()
 	stages := j.stageDurations()
 
 	s.mu.Lock()
 	s.inFlight--
 	if failure != nil {
 		s.failed++
+		switch failure.Kind {
+		case "timeout":
+			s.timedOut++
+		case "cancelled", "drain":
+			s.cancelled++
+		}
 		// A failed run is not a servable result: drop its digest claim so
 		// a resubmission retries instead of replaying the failure forever.
 		if s.byDigest[j.res.Digest] == j {
 			delete(s.byDigest, j.res.Digest)
 		}
+		// Deterministic failures feed the poison quarantine; timeouts and
+		// cancellations say nothing about a retry and never do.
+		if deterministicFailure(failure.Kind) {
+			s.notePoisonLocked(j.res.Digest, failure, finished)
+		}
 	} else {
 		s.completed++
+		delete(s.poison, j.res.Digest)
 	}
 	for st := stage(0); st < numStages; st++ {
 		s.stageMicros[st].Observe(uint64(stages[st].Microseconds()))
@@ -394,10 +570,11 @@ func (s *Server) runJob(j *Job) {
 	s.coldMicros.Observe(uint64(finished.Sub(j.submitted).Microseconds()))
 	s.mu.Unlock()
 
-	if failure == nil {
+	if failure == nil && s.breaker.allow() {
 		// Publish the rendered body so a future process — or this one
 		// after a restart — serves the digest from disk. Outside the lock:
-		// Put is disk I/O.
+		// Put is disk I/O. Gated by the breaker: while the disk is sick,
+		// skipping the publish is the degradation, not a loss.
 		s.store.Put(casResultNS, j.res.Digest, body)
 	}
 
@@ -447,11 +624,26 @@ func (s *Server) execute(j *Job) (body []byte, failure *Failure) {
 		}
 	}()
 
+	if s.chaos != nil {
+		if msg, ok := s.chaos.WorkerPanic(); ok {
+			// The scheduled worker fault: thrown here so it travels the
+			// same recover path an organic worker bug would.
+			panic(msg)
+		}
+	}
+
 	r := j.res
 	cfg := r.Cfg
 	if r.Inject != nil {
 		// Injectors are single-use: arm a fresh schedule per run.
 		cfg.Inject = inject.New(*r.Inject)
+	}
+	if j.ctx != nil {
+		// The serving deadline / disconnect signal, polled by the sim loop
+		// every CancelPollCycles. context.Cause is nil while the context
+		// lives — exactly the contract sim.Config.Cancel wants.
+		jctx := j.ctx
+		cfg.Cancel = func() error { return context.Cause(jctx) }
 	}
 	cfg.Telemetry = j.fan
 	if j.flight != nil {
@@ -461,6 +653,9 @@ func (s *Server) execute(j *Job) (body []byte, failure *Failure) {
 	}
 
 	t := time.Now()
+	if f := s.abortedFailure(j, 0); f != nil {
+		return nil, f
+	}
 	j.enterStage(stageBuild, t)
 	built := s.builder.Build(r.Spec, r.Exp.SequentialSoftware())
 	t = j.leaveStage(stageBuild, t)
@@ -474,12 +669,24 @@ func (s *Server) execute(j *Job) (body []byte, failure *Failure) {
 		}
 		return nil, &Failure{Kind: "error", Error: err.Error(), Repro: r.ReproCommand()}
 	}
+	if f := s.abortedFailure(j, res.Cycles); f != nil {
+		return nil, f
+	}
 	j.enterStage(stageBuild, t)
 	seqBuilt := s.builder.Build(r.Spec, true)
 	t = j.leaveStage(stageBuild, t)
 	j.enterStage(stageSim, t)
-	seqRes := sim.Run(workload.Machine(workload.Sequential), seqBuilt.Program)
+	seqCfg := workload.Machine(workload.Sequential)
+	seqCfg.Cancel = cfg.Cancel
+	seqRes, err := sim.RunE(seqCfg, seqBuilt.Program)
 	t = j.leaveStage(stageSim, t)
+	if err != nil {
+		var re *sim.RunError
+		if errors.As(err, &re) {
+			return nil, s.failureFrom(j, re)
+		}
+		return nil, &Failure{Kind: "error", Error: err.Error(), Repro: r.ReproCommand()}
+	}
 
 	j.enterStage(stageRender, t)
 	run := report.BuildRun(report.RunParams{
@@ -502,11 +709,40 @@ func (s *Server) execute(j *Job) (body []byte, failure *Failure) {
 
 // failureFrom converts a structured simulation error into the job's Failure
 // and, when the flight recorder is armed, dumps the job's telemetry tail.
+// A sim-level "cancelled" abandonment is re-labeled by its context cause —
+// "timeout" for a deadline, "drain" for shutdown, "cancelled" otherwise —
+// so the status tells the submitter what actually happened.
 func (s *Server) failureFrom(j *Job, re *sim.RunError) *Failure {
+	kind := re.Kind
+	if kind == "cancelled" && j.ctx != nil {
+		if cause := context.Cause(j.ctx); cause != nil {
+			kind = cancelKind(cause)
+		}
+	}
 	return &Failure{
-		Kind:         re.Kind,
+		Kind:         kind,
 		Cycle:        re.Cycle,
 		Error:        re.Error(),
+		Repro:        j.res.ReproCommand(),
+		FlightRecord: s.dumpFlight(j),
+	}
+}
+
+// abortedFailure reports a between-stage cancellation: the job's context
+// fired while no simulation was running to poll it (before the build, or
+// between the TLS and sequential passes). nil while the job is live.
+func (s *Server) abortedFailure(j *Job, cycle uint64) *Failure {
+	if j.ctx == nil {
+		return nil
+	}
+	cause := context.Cause(j.ctx)
+	if cause == nil {
+		return nil
+	}
+	return &Failure{
+		Kind:         cancelKind(cause),
+		Cycle:        cycle,
+		Error:        cause.Error(),
 		Repro:        j.res.ReproCommand(),
 		FlightRecord: s.dumpFlight(j),
 	}
@@ -559,6 +795,12 @@ type Metrics struct {
 	JobsCompleted uint64 `json:"jobs_completed"`
 	JobsFailed    uint64 `json:"jobs_failed"`
 	JobsRejected  uint64 `json:"jobs_rejected_queue_full"`
+	// Deadline/cancellation outcomes and degraded-mode rejections.
+	JobsTimedOut         uint64 `json:"jobs_timed_out"`
+	JobsCancelled        uint64 `json:"jobs_cancelled"`
+	JobsRejectedPoisoned uint64 `json:"jobs_rejected_poisoned"`
+	JobsRejectedDeadline uint64 `json:"jobs_rejected_deadline"`
+	PoisonedDigests      int    `json:"poisoned_digests"`
 
 	CacheEntries    int     `json:"cache_entries"`
 	CacheHits       uint64  `json:"cache_hits"`
@@ -575,6 +817,12 @@ type Metrics struct {
 	// quarantined entries, resident set, and disk I/O latencies. nil when
 	// the daemon runs without a cache directory.
 	CAS *cas.Stats `json:"cas,omitempty"`
+	// Breaker is the disk-tier circuit breaker's state and counters. nil
+	// without a persistent store.
+	Breaker *BreakerStats `json:"cas_breaker,omitempty"`
+	// Chaos counts the faults the -chaos schedule has delivered. nil when
+	// chaos is off.
+	Chaos *chaos.Stats `json:"chaos,omitempty"`
 
 	// Per-stage breakdown of the cold path, observed once per executed job:
 	// queue wait, workload build, simulation, result render.
@@ -615,6 +863,12 @@ func (s *Server) MetricsSnapshot() Metrics {
 		JobsFailed:    s.failed,
 		JobsRejected:  s.rejected,
 
+		JobsTimedOut:         s.timedOut,
+		JobsCancelled:        s.cancelled,
+		JobsRejectedPoisoned: s.poisonRejects,
+		JobsRejectedDeadline: s.deadlineRej,
+		PoisonedDigests:      len(s.poison),
+
 		CacheEntries:    len(s.byDigest),
 		CacheHits:       s.cacheHits,
 		CacheDiskHits:   s.diskHits,
@@ -633,6 +887,12 @@ func (s *Server) MetricsSnapshot() Metrics {
 	if s.store != nil {
 		st := s.store.Stats()
 		m.CAS = &st
+		bs := s.breaker.stats()
+		m.Breaker = &bs
+	}
+	if s.chaos != nil {
+		cs := s.chaos.Stats()
+		m.Chaos = &cs
 	}
 	if served := m.CacheHits + m.CacheDiskHits + m.DedupedInFlight + m.CacheMisses; served > 0 {
 		m.CacheHitRatio = float64(m.CacheHits+m.CacheDiskHits+m.DedupedInFlight) / float64(served)

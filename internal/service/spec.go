@@ -61,6 +61,14 @@ type JobSpec struct {
 	MaxCycles uint64 `json:"max_cycles,omitempty"`
 	// Watchdog bounds cycles without a commit (sim.Config.WatchdogCycles).
 	Watchdog uint64 `json:"watchdog_cycles,omitempty"`
+	// TimeoutMS is the submission's end-to-end wall-clock deadline in
+	// milliseconds, covering queue wait, build, simulation, and render. A
+	// serving parameter, not a simulation parameter: it is floored at 10ms,
+	// ceilinged by the daemon's -job-timeout, and deliberately excluded
+	// from the content digest — the same simulation under a different
+	// deadline is still the same simulation, so it shares cache entries.
+	// 0 inherits the server-wide -job-timeout (which may be "none").
+	TimeoutMS uint64 `json:"timeout_ms,omitempty"`
 }
 
 // Resolved is a fully-determined simulation: every default applied, the

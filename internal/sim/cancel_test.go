@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// Cancellation-path tests: Config.Cancel is the serving layer's deadline /
+// client-disconnect signal, polled every CancelPollCycles alongside the
+// watchdog. A run abandoned this way must surface a structured RunError of
+// kind "cancelled" wrapping the cause, promptly (within one poll interval
+// of the signal firing), and a Cancel that never fires must not perturb
+// the result.
+
+func TestCancelAbandonsRunPromptly(t *testing.T) {
+	cfg := testConfig()
+	cause := errors.New("client went away")
+	var firedAt uint64
+	// Long enough that the run is still going at the first few polls.
+	cfg.Inject = &stubInjector{latchEvery: 1, latchDelay: 1}
+	polls := 0
+	cfg.Cancel = func() error {
+		polls++
+		if polls >= 2 {
+			if firedAt == 0 {
+				firedAt = uint64(polls) * CancelPollCycles
+			}
+			return cause
+		}
+		return nil
+	}
+	res, err := RunE(cfg, &Program{Units: []Unit{{Trace: latchTrace(0x9400, 1000)}}})
+	if err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("error is %T, want *RunError", err)
+	}
+	if re.Kind != "cancelled" {
+		t.Errorf("RunError.Kind = %q, want %q", re.Kind, "cancelled")
+	}
+	if !errors.Is(err, cause) {
+		t.Errorf("RunError does not wrap the cancellation cause: %v", err)
+	}
+	// The first poll returning non-nil must abandon the run immediately:
+	// the abandonment cycle is exactly a poll cycle.
+	if re.Cycle%CancelPollCycles != 0 {
+		t.Errorf("abandoned at cycle %d, not on a %d-cycle poll boundary", re.Cycle, CancelPollCycles)
+	}
+	if re.Cycle > firedAt {
+		t.Errorf("abandoned at cycle %d, after the poll that fired (%d)", re.Cycle, firedAt)
+	}
+	if res == nil {
+		t.Error("no partial result alongside the cancellation error")
+	}
+}
+
+func TestNilCancelResultUnchanged(t *testing.T) {
+	mk := func(cancel func() error) Config {
+		cfg := testConfig()
+		cfg.Cancel = cancel
+		return cfg
+	}
+	base := run(t, mk(nil), Unit{Trace: aluTrace(8000)}, Unit{Trace: aluTrace(8000)})
+	polled := 0
+	live := run(t, mk(func() error { polled++; return nil }),
+		Unit{Trace: aluTrace(8000)}, Unit{Trace: aluTrace(8000)})
+	if base.Cycles != live.Cycles || base.Breakdown != live.Breakdown {
+		t.Errorf("never-firing Cancel perturbed the run: %d vs %d cycles", base.Cycles, live.Cycles)
+	}
+	if polled == 0 && base.Cycles >= CancelPollCycles {
+		t.Error("Cancel was never polled over a multi-interval run")
+	}
+}
+
+func TestCancelBeatsWatchdog(t *testing.T) {
+	// Both the watchdog and the cancel signal are pending; whichever
+	// cadence fires first wins, and with a cancel armed from cycle zero
+	// that is the cancel poll (CancelPollCycles << WatchdogCycles here).
+	cfg := testConfig()
+	cfg.WatchdogCycles = 1 << 20
+	cfg.Inject = &stubInjector{latchEvery: 1, latchDelay: 1}
+	cause := errors.New("deadline exceeded")
+	cfg.Cancel = func() error { return cause }
+	_, err := RunE(cfg, &Program{Units: []Unit{{Trace: latchTrace(0x9500, 1000)}}})
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *RunError", err)
+	}
+	if re.Kind != "cancelled" {
+		t.Errorf("RunError.Kind = %q, want %q", re.Kind, "cancelled")
+	}
+	if re.Cycle > CancelPollCycles {
+		t.Errorf("abandoned at cycle %d, want within the first %d-cycle poll interval", re.Cycle, CancelPollCycles)
+	}
+}

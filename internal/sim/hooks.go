@@ -71,10 +71,12 @@ type Injector interface {
 
 // RunError is the structured failure a run can end with instead of a result:
 // a protocol-invariant audit failure (paranoid mode), a forward-progress
-// watchdog trip, or a cycle-budget overrun. Run panics with *RunError so
-// legacy callers keep their no-error signature; RunE returns it.
+// watchdog trip, a cycle-budget overrun, or an external cancellation
+// (Config.Cancel — deadlines and client disconnects threaded in by a
+// serving layer). Run panics with *RunError so legacy callers keep their
+// no-error signature; RunE returns it.
 type RunError struct {
-	// Kind is "audit", "watchdog", or "max-cycles".
+	// Kind is "audit", "watchdog", "max-cycles", or "cancelled".
 	Kind string
 	// Cycle is when the run was abandoned.
 	Cycle uint64

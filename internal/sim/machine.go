@@ -238,6 +238,14 @@ func (m *machine) run() error {
 				"cycle budget %d exhausted (%d/%d units committed)",
 				mc, m.committed, len(m.prog.Units)))
 		}
+		// Cancellation poll: the serving layer's deadline/disconnect
+		// signal, checked on the same loop as the watchdog but only every
+		// CancelPollCycles cycles so the check stays off the hot path.
+		if m.cfg.Cancel != nil && m.cycle%CancelPollCycles == 0 {
+			if cerr := m.cfg.Cancel(); cerr != nil {
+				return m.abandon("cancelled", cerr)
+			}
+		}
 
 		// Latch-deadlock watchdog: if every core with work is stuck in
 		// a synchronization wait for too long, break the cycle by

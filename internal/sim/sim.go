@@ -195,10 +195,26 @@ type Config struct {
 	// a structured error. 0 disables the watchdog.
 	WatchdogCycles uint64
 
+	// Cancel, when non-nil, is polled every CancelPollCycles simulated
+	// cycles alongside the forward-progress watchdog; the first poll that
+	// returns a non-nil error abandons the run with a RunError of kind
+	// "cancelled" wrapping that error. This is how a serving layer threads
+	// per-job deadlines and client disconnects into a run: the check is a
+	// single function call on a coarse cadence, so it never perturbs the
+	// per-instruction hot path. Runtime-only plumbing like Telemetry —
+	// excluded from content digests.
+	Cancel func() error `json:"-"`
+
 	// MaxCycles is a hard cycle budget; exceeding it ends the run with a
 	// RunError of kind "max-cycles". 0 means unbounded.
 	MaxCycles uint64
 }
+
+// CancelPollCycles is how often (in simulated cycles) Config.Cancel is
+// polled. Coarse enough to cost nothing against the per-cycle work of a
+// 4-CPU machine, fine enough that a cancelled run is abandoned orders of
+// magnitude sooner than any watchdog interval.
+const CancelPollCycles = 1 << 12
 
 // DefaultConfig returns the paper's BASELINE machine: 4 CPUs, 8 sub-threads
 // per epoch spaced 5000 speculative instructions apart.

@@ -245,4 +245,63 @@ if [ "$STATUS" != 0 ]; then
     exit 1
 fi
 
-echo "tlsd-smoke: ok (job $JOB byte-identical, cache hit, clean exposition, flight record, clean drain, disk-warm restart)"
+# Chaos leg: a daemon with the deterministic serving-fault schedule armed
+# (disk errors, latency spikes, torn writes — over a fresh cache dir) must
+# still serve bytes identical to tlssim -json, the injected faults must be
+# visible in the Prometheus exposition, and the drain must stay clean.
+"$TMP/tlsd" -addr "$ADDR" -log-format json \
+    -cache-dir "$TMP/cas-chaos" -chaos 'seed=1,disk-err=3,slow=4,slow-ms=5,torn=3,panic=0' \
+    >"$TMP/tlsd3.log" 2>"$TMP/tlsd3.jsonl" &
+TLSD3_PID=$!
+for i in $(seq 1 100); do
+    if curl -fsS "http://$ADDR/readyz" >/dev/null 2>&1; then
+        break
+    fi
+    if [ "$i" = 100 ]; then
+        echo "tlsd-smoke: chaos daemon never became ready" >&2
+        cat "$TMP/tlsd3.log" "$TMP/tlsd3.jsonl" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+grep -q 'CHAOS ARMED' "$TMP/tlsd3.log" || {
+    echo "tlsd-smoke: chaos daemon did not announce its fault schedule" >&2
+    cat "$TMP/tlsd3.log" >&2
+    exit 1
+}
+# Three passes over the same spec walk every cache tier (cold, memory hit,
+# and the faulted disk path); each must serve the exact CLI bytes.
+for i in 1 2 3; do
+    curl -fsS -X POST "http://$ADDR/v1/jobs?wait=1" -d "$SPEC" >"$TMP/chaos$i.json"
+    if ! cmp -s "$TMP/chaos$i.json" "$TMP/cli.json"; then
+        echo "tlsd-smoke: chaos-mode body $i differs from tlssim -json" >&2
+        diff "$TMP/cli.json" "$TMP/chaos$i.json" >&2 || true
+        exit 1
+    fi
+done
+curl -fsS -H 'Accept: text/plain' "http://$ADDR/metrics" >"$TMP/chaos-metrics.prom"
+grep -Eq '^tlsd_chaos_faults_total\{kind="(disk-err|disk-slow|torn-write)"\} [1-9]' "$TMP/chaos-metrics.prom" || {
+    echo "tlsd-smoke: chaos run delivered no visible faults" >&2
+    cat "$TMP/chaos-metrics.prom" >&2
+    exit 1
+}
+grep -q '^tlsd_cas_breaker_state{state="' "$TMP/chaos-metrics.prom" || {
+    echo "tlsd-smoke: Prometheus exposition missing the breaker state" >&2
+    cat "$TMP/chaos-metrics.prom" >&2
+    exit 1
+}
+PROMLINT_FILE="$TMP/chaos-metrics.prom" go test -count=1 -run TestLintPromFile ./internal/telemetry >/dev/null || {
+    echo "tlsd-smoke: chaos Prometheus exposition failed the format linter" >&2
+    cat "$TMP/chaos-metrics.prom" >&2
+    exit 1
+}
+kill -TERM "$TLSD3_PID"
+STATUS=0
+wait "$TLSD3_PID" || STATUS=$?
+if [ "$STATUS" != 0 ]; then
+    echo "tlsd-smoke: chaos daemon exited $STATUS on SIGTERM" >&2
+    cat "$TMP/tlsd3.log" "$TMP/tlsd3.jsonl" >&2
+    exit 1
+fi
+
+echo "tlsd-smoke: ok (job $JOB byte-identical, cache hit, clean exposition, flight record, clean drain, disk-warm restart, chaos leg)"
