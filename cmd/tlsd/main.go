@@ -27,10 +27,12 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"subthreads/internal/cliflags"
+	"subthreads/internal/cluster"
 	"subthreads/internal/service"
 	"subthreads/internal/version"
 )
@@ -49,6 +51,7 @@ func main() {
 		debugAddr    = flag.String("debug-addr", "", "listen address for the diagnostics server (pprof, /debug/requests); empty disables it")
 		flightDir    = flag.String("flight-dir", filepath.Join(os.TempDir(), "tlsd-flight"), "directory for failure flight-recorder dumps; empty disables the recorder")
 		flightEvents = flag.Int("flight-events", 4096, "telemetry events retained per job for the flight recorder")
+		peers        = flag.String("peers", "", "comma-separated sibling tlsd base URLs whose caches are probed (GET /v1/cache/{digest}) before recomputing a locally-missed digest")
 		cacheDir     = cliflags.AddCacheDir(flag.CommandLine)
 		chaosSpec    = cliflags.AddChaos(flag.CommandLine)
 		showVersion  = cliflags.AddVersion(flag.CommandLine)
@@ -94,7 +97,7 @@ func main() {
 		fmt.Printf("tlsd: persistent cache at %s\n", store.Dir())
 	}
 
-	s := service.New(service.Options{
+	opts := service.Options{
 		Workers:          *workers,
 		QueueDepth:       *queueDepth,
 		DefaultMaxCycles: *maxCycles,
@@ -106,7 +109,18 @@ func main() {
 		Store:            store,
 		JobTimeout:       *jobTimeout,
 		Chaos:            chaosSched,
-	})
+	}
+	if peerURLs := splitPeers(*peers); len(peerURLs) > 0 {
+		// The remote cache tier: before recomputing a digest that missed
+		// memory and disk, ask the siblings' caches. Each link has its own
+		// breaker, so a sick sibling degrades to recompute.
+		group := cluster.NewRemoteGroup(peerURLs, cluster.RemoteOptions{Logger: logger})
+		opts.RemoteFetch = func(ctx context.Context, digest string) ([]byte, string, bool) {
+			return group.Fetch(ctx, digest)
+		}
+		fmt.Printf("tlsd: remote cache tier over %d sibling(s)\n", len(peerURLs))
+	}
+	s := service.New(opts)
 	if chaosSched != nil {
 		fmt.Printf("tlsd: CHAOS ARMED (%s) — injected faults are deliberate\n", chaosSched.Config())
 	}
@@ -161,6 +175,19 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("tlsd: drained, bye")
+}
+
+// splitPeers parses the -peers list: comma-separated base URLs, trailing
+// slashes trimmed so URL concatenation stays uniform.
+func splitPeers(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		u := strings.TrimRight(strings.TrimSpace(part), "/")
+		if u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
 }
 
 // newLogger builds the daemon's structured logger on stderr, so the log

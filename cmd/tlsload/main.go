@@ -1,0 +1,353 @@
+// Command tlsload is a sustained-load generator for tlsd and tlsrouter.
+// It drives the job API through service.Client (the same well-behaved
+// retrying client the e2e suites use), with a Zipf-distributed digest
+// population so the cache-hit ratio is a dial rather than an accident:
+// a handful of hot specs dominate, exactly like a real sweep reissuing
+// its popular configurations.
+//
+//	tlsload -target http://localhost:8090 -duration 30s -concurrency 16 \
+//	        -digests 32 -zipf-s 1.2 -out load.json
+//
+// Closed-loop mode (-rate 0) keeps -concurrency workers saturated —
+// measured throughput is the system's capacity. Open-loop mode
+// (-rate N) submits N requests/sec regardless of completions, the
+// honest way to measure latency under a fixed offered load. Everything
+// is deterministic under -seed. The JSON artifact (-out) is what
+// scripts/regen-cluster-bench.sh aggregates into BENCH_cluster.json.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/signal"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"subthreads/internal/cliflags"
+	"subthreads/internal/service"
+	"subthreads/internal/telemetry"
+)
+
+func main() {
+	var (
+		target      = flag.String("target", "http://127.0.0.1:8090", "base URL of the tlsd or tlsrouter to load")
+		duration    = flag.Duration("duration", 30*time.Second, "measured load window")
+		concurrency = flag.Int("concurrency", 8, "closed-loop workers (and open-loop in-flight cap)")
+		rate        = flag.Float64("rate", 0, "open-loop offered load in requests/sec; 0 = closed loop")
+		digests     = flag.Int("digests", 16, "distinct spec population size (each resolves to its own digest)")
+		zipfS       = flag.Float64("zipf-s", 1.1, "Zipf skew of digest popularity; 0 = uniform")
+		seed        = flag.Uint64("seed", 1, "deterministic sampling seed")
+		benchmark   = flag.String("benchmark", "NEW ORDER", "workload for every generated spec")
+		txns        = flag.Int("txns", 2, "measured transactions per spec (small keeps cold jobs cheap)")
+		warmup      = flag.Int("warmup", 1, "warm-up transactions per spec")
+		warm        = flag.Bool("warm", true, "pre-run each distinct spec once before the measured window, so measurement exercises the serving path rather than first-compute")
+		out         = flag.String("out", "", "write the JSON report here ('' = stdout summary only)")
+		showVersion = cliflags.AddVersion(flag.CommandLine)
+	)
+	flag.Parse()
+	cliflags.HandleVersion(*showVersion)
+
+	if *concurrency < 1 || *digests < 1 {
+		fmt.Fprintln(os.Stderr, "tlsload: -concurrency and -digests must be >= 1")
+		os.Exit(2)
+	}
+
+	specs := make([]service.JobSpec, *digests)
+	for i := range specs {
+		s := int64(1000 + i) // distinct seeds -> distinct digests
+		w := *warmup
+		specs[i] = service.JobSpec{Benchmark: *benchmark, Txns: *txns, Warmup: &w, Seed: &s}
+	}
+
+	cli := &service.Client{Base: *target, Seed: *seed}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *warm {
+		fmt.Fprintf(os.Stderr, "tlsload: warming %d digests against %s\n", *digests, *target)
+		for i, spec := range specs {
+			if _, err := cli.Do(ctx, spec); err != nil {
+				fmt.Fprintf(os.Stderr, "tlsload: warm spec %d: %v\n", i, err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	st := newStats()
+	popCDF := zipfCDF(*digests, *zipfS)
+	deadline := time.Now().Add(*duration)
+	runCtx, cancel := context.WithDeadline(ctx, deadline)
+	defer cancel()
+
+	start := time.Now()
+	mode := "closed"
+	if *rate > 0 {
+		mode = "open"
+		runOpen(runCtx, cli, specs, popCDF, *rate, *concurrency, *seed, st)
+	} else {
+		runClosed(runCtx, cli, specs, popCDF, *concurrency, *seed, st)
+	}
+	elapsed := time.Since(start)
+
+	rep := st.report(*target, mode, *concurrency, *rate, elapsed, *digests, *zipfS, *seed)
+	printSummary(rep)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tlsload: %v\n", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "tlsload: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "tlsload: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("tlsload: wrote %s\n", *out)
+	}
+}
+
+// runClosed keeps n workers in a submit-wait-submit loop until ctx ends.
+func runClosed(ctx context.Context, cli *service.Client, specs []service.JobSpec, cdf []float64, n int, seed uint64, st *stats) {
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := seed*0x9e3779b97f4a7c15 + uint64(worker) + 1
+			for ctx.Err() == nil {
+				i := sample(cdf, &rng)
+				st.one(ctx, cli, specs[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// runOpen submits at the offered rate regardless of completions; inFlight
+// bounds concurrency so a saturated target sheds load (counted) instead
+// of accumulating unbounded goroutines.
+func runOpen(ctx context.Context, cli *service.Client, specs []service.JobSpec, cdf []float64, rate float64, inFlight int, seed uint64, st *stats) {
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	sem := make(chan struct{}, inFlight*4)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	var wg sync.WaitGroup
+	rng := seed*0x9e3779b97f4a7c15 + 0xdeadbeef
+	for {
+		select {
+		case <-ctx.Done():
+			wg.Wait()
+			return
+		case <-tick.C:
+			i := sample(cdf, &rng)
+			select {
+			case sem <- struct{}{}:
+				wg.Add(1)
+				go func(spec service.JobSpec) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					st.one(ctx, cli, spec)
+				}(specs[i])
+			default:
+				st.shed.Add(1)
+			}
+		}
+	}
+}
+
+// stats accumulates the measured window. Counters are atomic; the
+// histograms (not thread-safe by design) are guarded by mu.
+type stats struct {
+	requests, errors, shed           atomic.Uint64
+	hits, misses, dedup              atomic.Uint64
+	tierMemory, tierDisk, tierRemote atomic.Uint64
+	retries                          atomic.Uint64
+
+	mu       sync.Mutex
+	all      telemetry.Histogram
+	hitHist  telemetry.Histogram
+	missHist telemetry.Histogram
+	samples  []float64 // latency ms, for percentiles
+}
+
+func newStats() *stats { return &stats{} }
+
+// one performs a single submission and classifies the outcome.
+func (st *stats) one(ctx context.Context, cli *service.Client, spec service.JobSpec) {
+	t0 := time.Now()
+	res, err := cli.Do(ctx, spec)
+	dur := time.Since(t0)
+	if err != nil {
+		if ctx.Err() == nil {
+			st.errors.Add(1)
+		}
+		return
+	}
+	st.requests.Add(1)
+	if res.Attempts > 1 {
+		st.retries.Add(uint64(res.Attempts - 1))
+	}
+	hit := false
+	switch res.Cache {
+	case "hit":
+		st.hits.Add(1)
+		hit = true
+	case "dedup":
+		st.dedup.Add(1)
+	default:
+		st.misses.Add(1)
+	}
+	switch res.Tier {
+	case service.TierMemory:
+		st.tierMemory.Add(1)
+	case service.TierDisk:
+		st.tierDisk.Add(1)
+	case service.TierRemote:
+		st.tierRemote.Add(1)
+	}
+	us := uint64(dur.Microseconds())
+	st.mu.Lock()
+	st.all.Observe(us)
+	if hit {
+		st.hitHist.Observe(us)
+	} else {
+		st.missHist.Observe(us)
+	}
+	st.samples = append(st.samples, float64(dur.Microseconds())/1000)
+	st.mu.Unlock()
+}
+
+// Report is the tlsload JSON artifact; regen-cluster-bench.sh aggregates
+// one per topology into BENCH_cluster.json.
+type Report struct {
+	Target          string  `json:"target"`
+	Mode            string  `json:"mode"`
+	Concurrency     int     `json:"concurrency"`
+	RateTarget      float64 `json:"rate_target,omitempty"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	Digests         int     `json:"digests"`
+	ZipfS           float64 `json:"zipf_s"`
+	Seed            uint64  `json:"seed"`
+
+	Requests   uint64  `json:"requests"`
+	Errors     uint64  `json:"errors"`
+	Shed       uint64  `json:"shed"`
+	Retries    uint64  `json:"retries"`
+	Throughput float64 `json:"throughput_jobs_per_sec"`
+
+	Hits     uint64  `json:"cache_hits"`
+	Misses   uint64  `json:"cache_misses"`
+	Dedup    uint64  `json:"cache_dedup"`
+	HitRatio float64 `json:"cache_hit_ratio"`
+
+	TierMemory uint64 `json:"tier_memory"`
+	TierDisk   uint64 `json:"tier_disk"`
+	TierRemote uint64 `json:"tier_remote"`
+
+	LatencyP50Millis float64 `json:"latency_p50_ms"`
+	LatencyP90Millis float64 `json:"latency_p90_ms"`
+	LatencyP99Millis float64 `json:"latency_p99_ms"`
+
+	LatencyMicros     telemetry.HistogramSnapshot `json:"latency_micros"`
+	HitLatencyMicros  telemetry.HistogramSnapshot `json:"hit_latency_micros"`
+	MissLatencyMicros telemetry.HistogramSnapshot `json:"miss_latency_micros"`
+}
+
+func (st *stats) report(target, mode string, conc int, rate float64, elapsed time.Duration, digests int, zipfS float64, seed uint64) Report {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	r := Report{
+		Target: target, Mode: mode, Concurrency: conc, RateTarget: rate,
+		DurationSeconds: elapsed.Seconds(), Digests: digests, ZipfS: zipfS, Seed: seed,
+		Requests: st.requests.Load(), Errors: st.errors.Load(), Shed: st.shed.Load(),
+		Retries: st.retries.Load(),
+		Hits:    st.hits.Load(), Misses: st.misses.Load(), Dedup: st.dedup.Load(),
+		TierMemory: st.tierMemory.Load(), TierDisk: st.tierDisk.Load(), TierRemote: st.tierRemote.Load(),
+		LatencyMicros:     st.all.Snapshot(),
+		HitLatencyMicros:  st.hitHist.Snapshot(),
+		MissLatencyMicros: st.missHist.Snapshot(),
+	}
+	if elapsed > 0 {
+		r.Throughput = float64(r.Requests) / elapsed.Seconds()
+	}
+	if total := r.Hits + r.Misses + r.Dedup; total > 0 {
+		r.HitRatio = float64(r.Hits+r.Dedup) / float64(total)
+	}
+	if len(st.samples) > 0 {
+		sorted := append([]float64(nil), st.samples...)
+		sort.Float64s(sorted)
+		r.LatencyP50Millis = percentile(sorted, 0.50)
+		r.LatencyP90Millis = percentile(sorted, 0.90)
+		r.LatencyP99Millis = percentile(sorted, 0.99)
+	}
+	return r
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func printSummary(r Report) {
+	fmt.Printf("tlsload: %s mode against %s\n", r.Mode, r.Target)
+	fmt.Printf("  %d ok, %d errors, %d shed in %.1fs -> %.1f jobs/sec\n",
+		r.Requests, r.Errors, r.Shed, r.DurationSeconds, r.Throughput)
+	fmt.Printf("  cache: %d hit / %d dedup / %d miss (ratio %.3f); tiers: %d memory, %d disk, %d remote\n",
+		r.Hits, r.Dedup, r.Misses, r.HitRatio, r.TierMemory, r.TierDisk, r.TierRemote)
+	fmt.Printf("  latency ms: p50 %.2f  p90 %.2f  p99 %.2f\n",
+		r.LatencyP50Millis, r.LatencyP90Millis, r.LatencyP99Millis)
+}
+
+// zipfCDF precomputes the popularity CDF over ranks 1..n with exponent s
+// (s=0 degenerates to uniform). Rank 0 is the hottest digest.
+func zipfCDF(n int, s float64) []float64 {
+	w := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+		total += w[i]
+	}
+	cdf := make([]float64, n)
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		acc += w[i] / total
+		cdf[i] = acc
+	}
+	cdf[n-1] = 1
+	return cdf
+}
+
+// sample draws a rank from the CDF using the splitmix64 step (the repo's
+// shared deterministic-randomness idiom).
+func sample(cdf []float64, rng *uint64) int {
+	*rng += 0x9e3779b97f4a7c15
+	z := *rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	u := float64(z>>11) / float64(1<<53)
+	i := sort.SearchFloat64s(cdf, u)
+	if i >= len(cdf) {
+		i = len(cdf) - 1
+	}
+	return i
+}

@@ -1,0 +1,135 @@
+// Command tlsrouter fronts a fleet of tlsd workers with one address. It
+// speaks the daemon's own HTTP API, routes each submission to the worker
+// that owns its content digest on a bounded-load consistent-hash ring
+// (so repeated specs land on warm caches), health-probes the fleet, and
+// rescues submissions whose owner is down — first from sibling replicas'
+// caches, then by failover recompute.
+//
+//	tlsrouter -addr :8090 -workers http://10.0.0.1:8080,http://10.0.0.2:8080
+//	curl -s -X POST localhost:8090/v1/jobs?wait=1 \
+//	     -d '{"benchmark":"NEW ORDER","txns":4,"warmup":1}'
+//
+// The router is stateless apart from a bounded job->worker map; clients
+// see the same responses, headers, and byte-identical result bodies a
+// single tlsd would serve. See SERVICE.md ("Running a cluster").
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"subthreads/internal/cliflags"
+	"subthreads/internal/cluster"
+	"subthreads/internal/version"
+)
+
+func main() {
+	var (
+		addr           = flag.String("addr", "127.0.0.1:8090", "HTTP listen address")
+		workers        = flag.String("workers", "", "comma-separated tlsd base URLs (required), e.g. http://10.0.0.1:8080,http://10.0.0.2:8080")
+		vnodes         = flag.Int("vnodes", 128, "virtual nodes per worker on the consistent-hash ring")
+		loadFactor     = flag.Float64("load-factor", 1.25, "bounded-load slack over a perfectly fair share (>= 1)")
+		probeInterval  = flag.Duration("probe-interval", 2*time.Second, "interval between /healthz probe rounds")
+		probeTimeout   = flag.Duration("probe-timeout", time.Second, "timeout per health probe")
+		probeThreshold = flag.Int("probe-threshold", 3, "consecutive probe failures that eject a worker from the ring")
+		logFormat      = flag.String("log-format", "text", "structured log encoding: text or json")
+		logLevel       = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+		showVersion    = cliflags.AddVersion(flag.CommandLine)
+	)
+	flag.Parse()
+	cliflags.HandleVersion(*showVersion)
+
+	urls := splitWorkers(*workers)
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "tlsrouter: -workers is required (comma-separated tlsd base URLs)")
+		os.Exit(2)
+	}
+
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlsrouter: %v\n", err)
+		os.Exit(2)
+	}
+
+	rt, err := cluster.NewRouter(cluster.Options{
+		Workers:    urls,
+		VNodes:     *vnodes,
+		LoadFactor: *loadFactor,
+		Probe: cluster.ProberOptions{
+			Interval:  *probeInterval,
+			Timeout:   *probeTimeout,
+			Threshold: *probeThreshold,
+		},
+		Logger: logger,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlsrouter: %v\n", err)
+		os.Exit(2)
+	}
+	rt.Start()
+	defer rt.Close()
+
+	srv := &http.Server{Addr: *addr, Handler: rt.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("tlsrouter: %s\n", version.Get())
+	fmt.Printf("tlsrouter: routing on http://%s over %d workers (vnodes %d, load factor %.2f)\n",
+		*addr, len(urls), *vnodes, *loadFactor)
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "tlsrouter: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	fmt.Println("tlsrouter: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "tlsrouter: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("tlsrouter: bye")
+}
+
+// splitWorkers parses the -workers list: comma-separated base URLs,
+// trailing slashes trimmed so URL concatenation stays uniform.
+func splitWorkers(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		u := strings.TrimRight(strings.TrimSpace(part), "/")
+		if u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// newLogger builds the router's structured logger on stderr (same
+// discipline as tlsd: logs never mix with stdout status lines).
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %v", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q: want text or json", format)
+	}
+}

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Prober keeps the ring's membership honest: every Interval it GETs each
+// configured worker's /healthz (dead or alive — dead nodes keep being
+// probed so they are readmitted the moment they recover). A worker is
+// ejected after Threshold consecutive failures — one slow scrape should
+// not trigger a rebalance — and readmitted on the first success, because
+// a recovering worker's warm disk cache is exactly what the ring wants
+// back as soon as possible.
+type Prober struct {
+	ring      *Ring
+	interval  time.Duration
+	threshold int
+	hc        *http.Client
+	log       *slog.Logger
+
+	probes   atomic.Uint64
+	failures atomic.Uint64
+
+	mu    sync.Mutex
+	fails map[string]int // consecutive failures per node
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// ProberOptions configures a Prober; zero values get defaults.
+type ProberOptions struct {
+	// Interval between probe rounds (default 2s).
+	Interval time.Duration
+	// Timeout per probe request (default 1s).
+	Timeout time.Duration
+	// Threshold is the consecutive-failure count that ejects a node
+	// (default 3).
+	Threshold int
+	// Logger receives ejection/readmission lines; nil disables logging.
+	Logger *slog.Logger
+}
+
+// NewProber builds a prober over the ring's configured nodes.
+func NewProber(ring *Ring, opts ProberOptions) *Prober {
+	if opts.Interval <= 0 {
+		opts.Interval = 2 * time.Second
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = time.Second
+	}
+	if opts.Threshold <= 0 {
+		opts.Threshold = 3
+	}
+	return &Prober{
+		ring:      ring,
+		interval:  opts.Interval,
+		threshold: opts.Threshold,
+		hc:        &http.Client{Timeout: opts.Timeout},
+		log:       opts.Logger,
+		fails:     make(map[string]int),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+}
+
+// Start launches the probe loop. The first round runs immediately so a
+// router booted against a half-dead fleet converges before its first
+// routed request.
+func (p *Prober) Start() {
+	go func() {
+		defer close(p.done)
+		p.ProbeOnce()
+		t := time.NewTicker(p.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				p.ProbeOnce()
+			}
+		}
+	}()
+}
+
+// Stop halts the probe loop and waits for it to exit.
+func (p *Prober) Stop() {
+	close(p.stop)
+	<-p.done
+}
+
+// ProbeOnce probes every configured node once, in parallel, and applies
+// eject/readmit transitions. Exported so tests and the router's startup
+// path can force a round without waiting for the ticker.
+func (p *Prober) ProbeOnce() {
+	nodes := p.ring.Nodes()
+	var wg sync.WaitGroup
+	for _, n := range nodes {
+		wg.Add(1)
+		go func(url string) {
+			defer wg.Done()
+			p.probe(url)
+		}(n.URL)
+	}
+	wg.Wait()
+}
+
+// Probes counts individual probe requests; Failures counts failed ones.
+func (p *Prober) Probes() uint64   { return p.probes.Load() }
+func (p *Prober) Failures() uint64 { return p.failures.Load() }
+
+func (p *Prober) probe(url string) {
+	p.probes.Add(1)
+	healthy := false
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodGet, url+"/healthz", nil)
+	if err == nil {
+		resp, rerr := p.hc.Do(req)
+		if rerr == nil {
+			// Any response at all means the process is up; /healthz only
+			// reports non-200 when the daemon itself says it is unwell.
+			healthy = resp.StatusCode == http.StatusOK
+			resp.Body.Close()
+		}
+	}
+	if healthy {
+		p.mu.Lock()
+		p.fails[url] = 0
+		p.mu.Unlock()
+		if p.ring.SetAlive(url, true) && p.log != nil {
+			p.log.LogAttrs(context.Background(), slog.LevelInfo, "worker readmitted",
+				slog.String("component", "prober"), slog.String("node", url))
+		}
+		return
+	}
+	p.failures.Add(1)
+	p.mu.Lock()
+	p.fails[url]++
+	eject := p.fails[url] >= p.threshold
+	n := p.fails[url]
+	p.mu.Unlock()
+	if eject {
+		if p.ring.SetAlive(url, false) && p.log != nil {
+			p.log.LogAttrs(context.Background(), slog.LevelWarn, "worker ejected",
+				slog.String("component", "prober"), slog.String("node", url),
+				slog.Int("consecutive_failures", n))
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testWorkers(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://worker-%d:8080", i)
+	}
+	return out
+}
+
+func testKeys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		// Shaped like real keys: 64-hex digests come through ringHash the
+		// same way, so any string population exercises the same code.
+		out[i] = fmt.Sprintf("digest-%04d", i)
+	}
+	return out
+}
+
+// TestRingDeterministicPlacement pins that placement is a pure function
+// of (workers, key): two independently built rings agree on every owner,
+// and the keyspace spreads over all nodes.
+func TestRingDeterministicPlacement(t *testing.T) {
+	workers := testWorkers(4)
+	a, err := NewRing(workers, 0, 0)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	b, err := NewRing(workers, 0, 0)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	perNode := map[string]int{}
+	for _, k := range testKeys(1000) {
+		oa, ok := a.Owner(k)
+		if !ok {
+			t.Fatalf("Owner(%q): no owner on a live ring", k)
+		}
+		ob, _ := b.Owner(k)
+		if oa != ob {
+			t.Fatalf("Owner(%q): ring a says %s, ring b says %s", k, oa, ob)
+		}
+		perNode[oa]++
+	}
+	for _, w := range workers {
+		if perNode[w] == 0 {
+			t.Errorf("worker %s owns no keys out of 1000 — virtual nodes not spreading", w)
+		}
+	}
+	t.Logf("distribution over 1000 keys: %v", perNode)
+}
+
+// TestRingMinimalMovement pins consistent hashing's defining property:
+// ejecting one node moves only that node's keys, and readmitting it
+// restores the original placement exactly.
+func TestRingMinimalMovement(t *testing.T) {
+	workers := testWorkers(4)
+	r, err := NewRing(workers, 0, 0)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	keys := testKeys(1000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k], _ = r.Owner(k)
+	}
+	victim := workers[1]
+	if !r.SetAlive(victim, false) {
+		t.Fatalf("SetAlive(%s, false) reported no change", victim)
+	}
+	moved := 0
+	for _, k := range keys {
+		after, ok := r.Owner(k)
+		if !ok {
+			t.Fatalf("Owner(%q): no owner with 3/4 nodes alive", k)
+		}
+		switch {
+		case before[k] == victim:
+			moved++
+			if after == victim {
+				t.Fatalf("key %q still owned by ejected node", k)
+			}
+		case after != before[k]:
+			t.Fatalf("key %q moved from %s to %s although its owner %s stayed alive",
+				k, before[k], after, before[k])
+		}
+	}
+	if moved == 0 {
+		t.Fatalf("ejected node owned no keys; test population too small")
+	}
+	if !r.SetAlive(victim, true) {
+		t.Fatalf("SetAlive(%s, true) reported no change", victim)
+	}
+	for _, k := range keys {
+		after, _ := r.Owner(k)
+		if after != before[k] {
+			t.Fatalf("key %q did not return to %s after readmission (got %s)", k, before[k], after)
+		}
+	}
+	if got := r.Rebalances(); got != 2 {
+		t.Fatalf("Rebalances = %d, want 2 (one ejection, one readmission)", got)
+	}
+}
+
+// TestRingBoundedLoad pins the spill behaviour: piling un-released routes
+// onto one hot key overflows its owner's bounded share onto the next
+// preferences instead of queueing everything on one node.
+func TestRingBoundedLoad(t *testing.T) {
+	workers := testWorkers(3)
+	r, err := NewRing(workers, 0, 1.25)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	const hot = "the-one-hot-digest"
+	owner, _ := r.Owner(hot)
+	used := map[string]int{}
+	var releases []func()
+	for i := 0; i < 30; i++ {
+		node, release, ok := r.Route(hot)
+		if !ok {
+			t.Fatalf("Route: no node on a live ring")
+		}
+		used[node]++
+		releases = append(releases, release)
+	}
+	if len(used) < 2 {
+		t.Fatalf("30 concurrent routes of one key all landed on %v — bounded load never spilled", used)
+	}
+	if used[owner] == 0 {
+		t.Fatalf("owner %s got none of its own key's routes: %v", owner, used)
+	}
+	for _, rel := range releases {
+		rel()
+	}
+	for _, n := range r.Nodes() {
+		if n.Load != 0 {
+			t.Fatalf("node %s load %d after all releases, want 0", n.URL, n.Load)
+		}
+	}
+	// With the fleet idle again, the hot key goes back to its owner.
+	node, release, _ := r.Route(hot)
+	release()
+	if node != owner {
+		t.Fatalf("idle-ring Route(%q) = %s, want owner %s", hot, node, owner)
+	}
+}
+
+// TestRingAllDead pins the empty-fleet behaviour.
+func TestRingAllDead(t *testing.T) {
+	workers := testWorkers(2)
+	r, err := NewRing(workers, 0, 0)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	for _, w := range workers {
+		r.SetAlive(w, false)
+	}
+	if _, ok := r.Owner("k"); ok {
+		t.Fatalf("Owner found a node on an all-dead ring")
+	}
+	if _, _, ok := r.Route("k"); ok {
+		t.Fatalf("Route found a node on an all-dead ring")
+	}
+	if pref := r.Preference("k", 4); len(pref) != 0 {
+		t.Fatalf("Preference on an all-dead ring = %v, want empty", pref)
+	}
+}
+
+// TestRingValidation pins constructor errors.
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0, 0); err == nil {
+		t.Errorf("NewRing(nil) succeeded, want error")
+	}
+	if _, err := NewRing([]string{"http://a", "http://a"}, 0, 0); err == nil {
+		t.Errorf("NewRing with duplicate worker succeeded, want error")
+	}
+	if _, err := NewRing([]string{"http://a", ""}, 0, 0); err == nil {
+		t.Errorf("NewRing with empty worker succeeded, want error")
+	}
+}

@@ -5,33 +5,33 @@ import (
 	"time"
 )
 
-// Breaker states. The classic three-state machine: closed (disk trusted),
-// open (disk bypassed — the daemon serves memory and rebuilds), half-open
-// (one probe in flight deciding which way to go).
+// Breaker states. The classic three-state machine: closed (dependency
+// trusted), open (dependency bypassed — the caller degrades), half-open (one
+// probe in flight deciding which way to go).
 const (
 	breakerClosed   = "closed"
 	breakerOpen     = "open"
 	breakerHalfOpen = "half-open"
 )
 
-// breaker is the circuit breaker around the disk CAS tier. It watches every
-// store operation through cas.Store's observer hook (an operation counts as
-// a failure if it errors or exceeds slowCall) and trips open after
-// threshold consecutive failures. While open, allow() short-circuits the
-// service's result-tier disk probes and publishes, so a sick disk degrades
-// the daemon to memory-plus-rebuild instead of dragging every request
-// through slow I/O. After cooldown, one probe is let through half-open: its
-// outcome closes or re-opens the circuit.
+// Breaker is a hystrix-style circuit breaker around one fallible dependency.
+// The daemon wraps its disk CAS tier in one (an operation counts as a
+// failure if it errors or exceeds slowCall) and internal/cluster wraps each
+// inter-node link in its own, so a sick replica degrades its callers to
+// recompute instead of dragging every request through a dead socket. It
+// trips open after threshold consecutive failures; while open, Allow()
+// short-circuits callers. After cooldown, one probe is let through
+// half-open: its outcome closes or re-opens the circuit.
 //
 // The zero threshold/cooldown/slowCall values are replaced by defaults in
-// newBreaker. All methods are safe on a nil breaker (allow always true) so
-// a store-less server never branches.
-type breaker struct {
+// NewBreaker. All methods are safe on a nil Breaker (Allow always true) so
+// callers without a breaker never branch.
+type Breaker struct {
 	threshold int
 	cooldown  time.Duration
 	slowCall  time.Duration
-	now       func() time.Time       // test seam
-	onChange  func(from, to string)  // transition log hook; may be nil
+	now       func() time.Time      // test seam
+	onChange  func(from, to string) // transition log hook; may be nil
 
 	mu       sync.Mutex
 	state    string
@@ -43,15 +43,18 @@ type breaker struct {
 }
 
 // Breaker defaults: five consecutive failures open the circuit, a probe is
-// attempted after ten seconds, and a disk call slower than 250ms counts as
-// a failure even when it succeeds.
+// attempted after ten seconds, and a call slower than 250ms counts as a
+// failure even when it succeeds.
 const (
 	defaultBreakerThreshold = 5
 	defaultBreakerCooldown  = 10 * time.Second
 	defaultBreakerSlowCall  = 250 * time.Millisecond
 )
 
-func newBreaker(threshold int, cooldown, slowCall time.Duration) *breaker {
+// NewBreaker builds a breaker. Zero arguments take the package defaults; a
+// caller whose operations are legitimately slow (e.g. a proxied simulation)
+// should pass a large slowCall so only real errors count.
+func NewBreaker(threshold int, cooldown, slowCall time.Duration) *Breaker {
 	if threshold <= 0 {
 		threshold = defaultBreakerThreshold
 	}
@@ -61,7 +64,7 @@ func newBreaker(threshold int, cooldown, slowCall time.Duration) *breaker {
 	if slowCall <= 0 {
 		slowCall = defaultBreakerSlowCall
 	}
-	return &breaker{
+	return &Breaker{
 		threshold: threshold,
 		cooldown:  cooldown,
 		slowCall:  slowCall,
@@ -70,9 +73,17 @@ func newBreaker(threshold int, cooldown, slowCall time.Duration) *breaker {
 	}
 }
 
-// allow reports whether a result-tier disk operation should be attempted.
-// false means short-circuit: skip the disk, serve from memory or rebuild.
-func (b *breaker) allow() bool {
+// OnChange registers a state-transition hook (for logging); it is called
+// with the breaker's lock held, so it must not re-enter the breaker.
+func (b *Breaker) OnChange(fn func(from, to string)) {
+	if b != nil {
+		b.onChange = fn
+	}
+}
+
+// Allow reports whether an operation should be attempted. false means
+// short-circuit: skip the dependency and degrade.
+func (b *Breaker) Allow() bool {
 	if b == nil {
 		return true
 	}
@@ -99,10 +110,13 @@ func (b *breaker) allow() bool {
 	}
 }
 
-// observe feeds one disk-operation outcome into the state machine. Wired as
-// the cas.Store observer, so it sees the build cache's disk traffic too —
-// any tier's misbehavior is evidence about the same disk.
-func (b *breaker) observe(_ string, d time.Duration, failed bool) {
+// Observe feeds one operation outcome into the state machine. The daemon
+// wires it as the cas.Store observer (so it sees the build cache's disk
+// traffic too — any tier's misbehavior is evidence about the same disk);
+// the cluster layer calls it after each inter-node request. The first
+// argument names the operation and exists to satisfy the store's observer
+// signature; the state machine ignores it.
+func (b *Breaker) Observe(_ string, d time.Duration, failed bool) {
 	if b == nil {
 		return
 	}
@@ -133,7 +147,7 @@ func (b *breaker) observe(_ string, d time.Duration, failed bool) {
 }
 
 // tripLocked opens the circuit. Caller holds mu.
-func (b *breaker) tripLocked() {
+func (b *Breaker) tripLocked() {
 	b.setStateLocked(breakerOpen)
 	b.openedAt = b.now()
 	b.opens++
@@ -142,7 +156,7 @@ func (b *breaker) tripLocked() {
 }
 
 // setStateLocked transitions and reports. Caller holds mu.
-func (b *breaker) setStateLocked(to string) {
+func (b *Breaker) setStateLocked(to string) {
 	if b.state == to {
 		return
 	}
@@ -153,7 +167,7 @@ func (b *breaker) setStateLocked(to string) {
 	}
 }
 
-// BreakerStats is the /metrics view of the breaker.
+// BreakerStats is the /metrics view of a breaker.
 type BreakerStats struct {
 	State               string `json:"state"`
 	ConsecutiveFailures int    `json:"consecutive_failures"`
@@ -161,8 +175,8 @@ type BreakerStats struct {
 	ShortCircuits       uint64 `json:"short_circuits"`
 }
 
-// stats snapshots the breaker. Safe on nil (a permanently closed circuit).
-func (b *breaker) stats() BreakerStats {
+// Stats snapshots the breaker. Safe on nil (a permanently closed circuit).
+func (b *Breaker) Stats() BreakerStats {
 	if b == nil {
 		return BreakerStats{State: breakerClosed}
 	}
@@ -174,4 +188,10 @@ func (b *breaker) stats() BreakerStats {
 		Opens:               b.opens,
 		ShortCircuits:       b.shorts,
 	}
+}
+
+// BreakerStateNames lists the breaker states in the order the Prometheus
+// one-hot state gauges enumerate them.
+func BreakerStateNames() [3]string {
+	return [3]string{breakerClosed, breakerOpen, breakerHalfOpen}
 }

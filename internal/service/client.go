@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -52,12 +53,47 @@ func (e *PermanentError) Error() string {
 	return fmt.Sprintf("service client: permanent failure (HTTP %d): %s", e.Status, e.Msg)
 }
 
+// ErrAlreadyTerminal reports that a DELETE-cancel found the job already
+// terminal (HTTP 409): the cancellation changed nothing, but the job's
+// outcome — done or failed — is settled and fetchable. Callers that only
+// wanted the job to stop can treat it as success.
+var ErrAlreadyTerminal = errors.New("service client: job already terminal; cancel changed nothing")
+
+// Result is one successful synchronous submission: the body plus the serving
+// metadata the daemon stamps on the response, so load generators and cluster
+// tests can assert hit provenance without re-parsing logs.
+type Result struct {
+	// Body is the result document, byte-identical to `tlssim -json`.
+	Body []byte
+	// Cache is the X-Cache response header: "hit", "dedup", or "miss"
+	// ("miss" and "dedup" submissions still block until the run finishes).
+	Cache string
+	// Tier is the X-Cache-Tier header of a hit: "memory", "disk", or
+	// "remote" ("" on a miss).
+	Tier string
+	// CorrelationID is the X-Correlation-ID echoed (or generated) by the
+	// server that answered.
+	CorrelationID string
+	// Attempts counts submissions performed, including the successful one.
+	Attempts int
+}
+
 // Run submits spec and blocks until it has the result body or a permanent
+// failure. The returned bytes are byte-identical to `tlssim -json` for the
+// same spec. See Do for the full result metadata.
+func (c *Client) Run(ctx context.Context, spec JobSpec) ([]byte, error) {
+	res, err := c.Do(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	return res.Body, nil
+}
+
+// Do submits spec and blocks until it has the result or a permanent
 // failure, retrying retryable outcomes (queue full, draining, unmeetable
 // deadline, failed runs — a failed job's digest is released, so a retry is
-// a fresh attempt) within the budget. The returned bytes are byte-identical
-// to `tlssim -json` for the same spec.
-func (c *Client) Run(ctx context.Context, spec JobSpec) ([]byte, error) {
+// a fresh attempt) within the budget.
+func (c *Client) Do(ctx context.Context, spec JobSpec) (*Result, error) {
 	payload, err := json.Marshal(spec)
 	if err != nil {
 		return nil, fmt.Errorf("service client: encode spec: %w", err)
@@ -68,9 +104,10 @@ func (c *Client) Run(ctx context.Context, spec JobSpec) ([]byte, error) {
 	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		body, retryAfter, retryable, err := c.once(ctx, payload)
+		res, retryAfter, retryable, err := c.once(ctx, payload)
 		if err == nil {
-			return body, nil
+			res.Attempts = attempt + 1
+			return res, nil
 		}
 		lastErr = err
 		if !retryable || attempt >= retries {
@@ -88,19 +125,50 @@ func (c *Client) Run(ctx context.Context, spec JobSpec) ([]byte, error) {
 	}
 }
 
+// Cancel requests cancellation of a live job (DELETE /v1/jobs/{id}). nil
+// means the cancellation was signalled (HTTP 202); ErrAlreadyTerminal means
+// the job had already finished (HTTP 409) — by the daemon's contract the
+// job's state is settled either way, so callers that only care that the job
+// is no longer running can treat both as success.
+func (c *Client) Cancel(ctx context.Context, jobID string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		c.Base+"/v1/jobs/"+jobID, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return fmt.Errorf("service client: %w", err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		return nil
+	case http.StatusConflict:
+		return ErrAlreadyTerminal
+	default:
+		return &PermanentError{Status: resp.StatusCode, Msg: compact(data)}
+	}
+}
+
+// http returns the underlying HTTP client.
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
 // once performs a single synchronous submission.
-func (c *Client) once(ctx context.Context, payload []byte) (body []byte, retryAfter time.Duration, retryable bool, err error) {
+func (c *Client) once(ctx context.Context, payload []byte) (res *Result, retryAfter time.Duration, retryable bool, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		c.Base+"/v1/jobs?wait=1", bytes.NewReader(payload))
 	if err != nil {
 		return nil, 0, false, err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	hc := c.HTTP
-	if hc == nil {
-		hc = http.DefaultClient
-	}
-	resp, err := hc.Do(req)
+	resp, err := c.http().Do(req)
 	if err != nil {
 		// Transport errors (daemon restarting, connection refused) are the
 		// canonical retryable failure.
@@ -113,7 +181,12 @@ func (c *Client) once(ctx context.Context, payload []byte) (body []byte, retryAf
 	}
 	switch resp.StatusCode {
 	case http.StatusOK:
-		return data, 0, false, nil
+		return &Result{
+			Body:          data,
+			Cache:         resp.Header.Get("X-Cache"),
+			Tier:          resp.Header.Get("X-Cache-Tier"),
+			CorrelationID: resp.Header.Get(CorrelationHeader),
+		}, 0, false, nil
 	case http.StatusBadRequest, http.StatusUnprocessableEntity:
 		// Invalid or quarantined: identical resubmissions keep failing
 		// until something else changes; don't spend the budget on them.

@@ -111,6 +111,7 @@ func (s *Server) routes() {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/cache/{digest}", s.handleCacheGet)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -169,7 +170,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
 		return
 	}
-	j, hit, err := s.SubmitCorrelated(spec, correlationFrom(r.Context()))
+	j, info, err := s.SubmitDetailed(spec, correlationFrom(r.Context()))
+	hit := info.Hit
 	var poisoned *PoisonedError
 	var unmeetable *UnmeetableDeadlineError
 	var full *QueueFullError
@@ -200,7 +202,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if hit && j.State() == StateDone {
 		// Content-addressed fast path: the stored body, byte-identical to
 		// the run that produced it (and to tlssim -json for this spec).
+		// X-Cache-Tier names where the bytes came from (memory, disk, or a
+		// sibling replica's cache) so clients can assert hit provenance.
 		w.Header().Set("X-Cache", "hit")
+		w.Header().Set("X-Cache-Tier", info.Tier)
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(j.Result())
 		return
@@ -269,6 +274,47 @@ func (s *Server) job(w http.ResponseWriter, r *http.Request) *Job {
 		return nil
 	}
 	return j
+}
+
+// handleCacheGet serves a previously computed result body by digest — the
+// cheap sibling-cache endpoint behind the cluster's cross-node fetch path
+// (GET /v1/cache/{digest}). It consults only the caches — a completed job in
+// memory, then the breaker-gated persistent store — and never computes, so
+// probing a replica costs a lookup, not a simulation. Responses:
+//
+//	200  the stored result body (X-Cache-Tier: memory|disk)
+//	404  this node has no stored result for the digest
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	if !validDigest(digest) {
+		writeError(w, http.StatusNotFound, "no cached result for %q", digest)
+		return
+	}
+	body, tier, ok := s.CachedResult(digest)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no cached result for %s", digest)
+		return
+	}
+	w.Header().Set("X-Cache-Tier", tier)
+	w.Header().Set("X-Job-Digest", digest)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// validDigest reports whether a path segment looks like a content address
+// (64 lowercase hex characters) — anything else can't name a stored result
+// and must never reach the store as a key.
+func validDigest(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {

@@ -49,6 +49,11 @@ func sanitizeCorrelation(s string) string {
 	return s
 }
 
+// SanitizeCorrelation applies the daemon's correlation-ID rules for other
+// layers (the cluster router validates a client-supplied ID with the same
+// rules before logging or forwarding it): the ID if log-safe, "" otherwise.
+func SanitizeCorrelation(s string) string { return sanitizeCorrelation(s) }
+
 // corrKey keys the correlation ID in a request context.
 type corrKey struct{}
 

@@ -46,7 +46,10 @@ func (s *Server) writeProm(w io.Writer) error {
 	p.Gauge("tlsd_cache_entries", "Distinct digests with a live job or stored result.", float64(m.CacheEntries))
 	p.Counter("tlsd_cache_hits_total", "Submissions served from the in-memory result cache.", m.CacheHits)
 	p.Counter("tlsd_cache_disk_hits_total", "Submissions served from the persistent result store.", m.CacheDiskHits)
+	p.Counter("tlsd_cache_remote_hits_total", "Submissions served from a sibling replica's cache.", m.CacheRemoteHits)
 	p.Counter("tlsd_cache_misses_total", "Submissions that required a new simulation.", m.CacheMisses)
+	p.Counter("tlsd_cache_probes_total", "Sibling-cache probes answered (GET /v1/cache/{digest}).", m.CacheProbes)
+	p.Counter("tlsd_cache_probe_hits_total", "Sibling-cache probes that found a stored result.", m.CacheProbeHits)
 	p.Counter("tlsd_cache_deduped_total", "Submissions attached to an already in-flight duplicate.", m.DedupedInFlight)
 	p.Gauge("tlsd_cache_hit_ratio", "Fraction of classified submissions served without new work (0 until the first job).", m.CacheHitRatio)
 
@@ -56,6 +59,8 @@ func (s *Server) writeProm(w io.Writer) error {
 		"Lookup latency of memory cache-hit submissions.", m.HitLatencyMicros)
 	p.Histogram("tlsd_cache_disk_hit_latency_microseconds",
 		"Lookup latency of disk-warm hit submissions (includes the store read).", m.DiskHitLatencyMicros)
+	p.Histogram("tlsd_cache_remote_hit_latency_microseconds",
+		"Lookup latency of sibling-cache hit submissions (includes the network fetch).", m.RemoteHitLatencyMicros)
 	for st := stage(0); st < numStages; st++ {
 		p.Histogram("tlsd_job_stage_latency_microseconds",
 			"Executed-job latency by pipeline stage (queue wait, workload build, simulation, result render).",

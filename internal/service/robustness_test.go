@@ -407,47 +407,47 @@ func TestTimeoutExcludedFromDigest(t *testing.T) {
 // cooldown admits one half-open probe, and the probe's outcome decides.
 func TestBreakerLifecycle(t *testing.T) {
 	clock := time.Unix(0, 0)
-	b := newBreaker(3, 10*time.Second, 250*time.Millisecond)
+	b := NewBreaker(3, 10*time.Second, 250*time.Millisecond)
 	b.now = func() time.Time { return clock }
 	var transitions []string
-	b.onChange = func(from, to string) { transitions = append(transitions, from+">"+to) }
+	b.OnChange(func(from, to string) { transitions = append(transitions, from+">"+to) })
 
 	for i := 0; i < 3; i++ {
-		if !b.allow() {
+		if !b.Allow() {
 			t.Fatalf("closed breaker denied op %d", i)
 		}
-		b.observe("load", time.Millisecond, true)
+		b.Observe("load", time.Millisecond, true)
 	}
-	if st := b.stats(); st.State != breakerOpen || st.Opens != 1 {
+	if st := b.Stats(); st.State != breakerOpen || st.Opens != 1 {
 		t.Fatalf("after 3 failures: %+v, want open/1", st)
 	}
-	if b.allow() {
+	if b.Allow() {
 		t.Fatalf("open breaker allowed an op inside the cooldown")
 	}
 
 	// A slow success is a failure too: it must not be able to close a
 	// half-open probe later, and while closed it counts toward the trip.
 	clock = clock.Add(11 * time.Second)
-	if !b.allow() { // half-open probe slot
+	if !b.Allow() { // half-open probe slot
 		t.Fatalf("breaker denied the half-open probe after cooldown")
 	}
-	if b.allow() { // second op during the probe short-circuits
+	if b.Allow() { // second op during the probe short-circuits
 		t.Fatalf("half-open breaker allowed a second concurrent op")
 	}
-	b.observe("load", 300*time.Millisecond, false) // slow success = failure
-	if st := b.stats(); st.State != breakerOpen || st.Opens != 2 {
+	b.Observe("load", 300*time.Millisecond, false) // slow success = failure
+	if st := b.Stats(); st.State != breakerOpen || st.Opens != 2 {
 		t.Fatalf("slow probe should re-open: %+v", st)
 	}
 
 	clock = clock.Add(11 * time.Second)
-	if !b.allow() {
+	if !b.Allow() {
 		t.Fatalf("breaker denied the second probe")
 	}
-	b.observe("load", time.Millisecond, false)
-	if st := b.stats(); st.State != breakerClosed {
+	b.Observe("load", time.Millisecond, false)
+	if st := b.Stats(); st.State != breakerClosed {
 		t.Fatalf("clean probe should close: %+v", st)
 	}
-	if st := b.stats(); st.ShortCircuits == 0 {
+	if st := b.Stats(); st.ShortCircuits == 0 {
 		t.Errorf("short circuits were not counted")
 	}
 	want := "closed>open,open>half-open,half-open>open,open>half-open,half-open>closed"
@@ -455,12 +455,12 @@ func TestBreakerLifecycle(t *testing.T) {
 		t.Errorf("transitions = %s, want %s", got, want)
 	}
 
-	var nilB *breaker
-	if !nilB.allow() {
+	var nilB *Breaker
+	if !nilB.Allow() {
 		t.Errorf("nil breaker must always allow")
 	}
-	nilB.observe("load", 0, true) // must not panic
-	if st := nilB.stats(); st.State != breakerClosed {
+	nilB.Observe("load", 0, true) // must not panic
+	if st := nilB.Stats(); st.State != breakerClosed {
 		t.Errorf("nil breaker stats = %+v", st)
 	}
 }

@@ -80,7 +80,29 @@ type Options struct {
 	// installed as the store's fault injector and consulted per job
 	// execution for worker panics. Test/soak plumbing — see internal/chaos.
 	Chaos *chaos.Chaos
+	// RemoteFetch, when non-nil, is the cross-node cache tier: on a local
+	// miss (memory and disk both empty), the daemon asks sibling replicas
+	// for the digest's rendered result before falling back to recompute.
+	// It returns the body, the sibling it came from (for the log line),
+	// and whether anything was found. Wired by cmd/tlsd -peers through
+	// internal/cluster's per-node circuit breakers; a fetched body is also
+	// published to the local store so warmth spreads through the cluster.
+	RemoteFetch func(ctx context.Context, digest string) (body []byte, from string, ok bool)
 }
+
+// Cache tiers: where a hit submission's bytes came from. The HTTP layer
+// surfaces the tier on the X-Cache-Tier response header so clients (tlsload,
+// the router tests) can assert hit provenance without re-parsing logs.
+const (
+	// TierMemory: an existing completed job for this digest.
+	TierMemory = "memory"
+	// TierDedup: an in-flight job for this digest; the submission attached.
+	TierDedup = "dedup"
+	// TierDisk: the persistent store had the rendered body.
+	TierDisk = "disk"
+	// TierRemote: a sibling replica's cache had the rendered body.
+	TierRemote = "remote"
+)
 
 // casResultNS is the store namespace for rendered result bodies, keyed by
 // the resolved job digest — the same digest that keys the in-memory cache.
@@ -108,7 +130,7 @@ type Server struct {
 	opts    Options
 	builder *workload.Builder
 	store   *cas.Store // nil = no persistent tier
-	breaker *breaker   // nil = no persistent tier to break around
+	breaker *Breaker   // nil = no persistent tier to break around
 	chaos   *chaos.Chaos
 	mux     httpMux
 	log     *slog.Logger // nil = logging disabled
@@ -132,6 +154,9 @@ type Server struct {
 	cacheHits     uint64 // digest hit on a completed job: result served as-is
 	deduped       uint64 // digest hit on a queued/running job: attached, no new work
 	diskHits      uint64 // digest hit in the persistent store: served from disk
+	remoteHits    uint64 // digest hit in a sibling replica's cache: served remotely
+	cacheProbes   uint64 // GET /v1/cache/{digest} sibling probes answered
+	probeHits     uint64 // sibling probes that found a stored result
 	cacheMisses   uint64
 	rejected      uint64
 	timedOut      uint64 // jobs abandoned on their deadline ("timeout" failures)
@@ -139,9 +164,10 @@ type Server struct {
 	poisonRejects uint64 // submissions fast-failed on a quarantined digest
 	deadlineRej   uint64 // submissions rejected as unable to meet their deadline
 	inFlight      int
-	coldMicros    telemetry.Histogram // submit -> terminal, simulated jobs
-	hitMicros     telemetry.Histogram // lookup time of memory cache-hit submissions
-	diskHitMicros telemetry.Histogram // lookup time of disk-warm hit submissions
+	coldMicros      telemetry.Histogram // submit -> terminal, simulated jobs
+	hitMicros       telemetry.Histogram // lookup time of memory cache-hit submissions
+	diskHitMicros   telemetry.Histogram // lookup time of disk-warm hit submissions
+	remoteHitMicros telemetry.Histogram // lookup time of sibling-cache hit submissions
 	// stageMicros breaks the cold path down by pipeline segment (queue
 	// wait, build, sim, render) for every executed job.
 	stageMicros [numStages]telemetry.Histogram
@@ -180,12 +206,12 @@ func New(opts Options) *Server {
 	s.builder.SetStore(opts.Store)
 	s.builder.SetLogger(opts.Logger)
 	if opts.Store != nil {
-		s.breaker = newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, opts.BreakerSlowCall)
-		s.breaker.onChange = func(from, to string) {
+		s.breaker = NewBreaker(opts.BreakerThreshold, opts.BreakerCooldown, opts.BreakerSlowCall)
+		s.breaker.OnChange(func(from, to string) {
 			s.jlog(slog.LevelWarn, "cas breaker state changed",
 				slog.String("from", from), slog.String("to", to))
-		}
-		opts.Store.SetObserver(s.breaker.observe)
+		})
+		opts.Store.SetObserver(s.breaker.Observe)
 	}
 	if opts.Chaos != nil && opts.Store != nil {
 		opts.Store.SetFaults(opts.Chaos)
@@ -229,6 +255,22 @@ func (s *Server) Submit(spec JobSpec) (j *Job, hit bool, err error) {
 // new job, becomes the job's correlation ID (stamped on its SSE events and
 // flight record). "" generates a fresh ID.
 func (s *Server) SubmitCorrelated(spec JobSpec, corr string) (j *Job, hit bool, err error) {
+	j, info, err := s.SubmitDetailed(spec, corr)
+	return j, info.Hit, err
+}
+
+// SubmitInfo describes how a submission was satisfied: whether it hit an
+// existing result or run, and which cache tier served it (TierMemory,
+// TierDedup, TierDisk, TierRemote; "" for a miss that enqueued new work).
+type SubmitInfo struct {
+	Hit  bool
+	Tier string
+}
+
+// SubmitDetailed is SubmitCorrelated plus hit provenance — the HTTP layer
+// uses the tier to stamp the X-Cache-Tier response header, and the cluster
+// tests use it to pin where bytes came from.
+func (s *Server) SubmitDetailed(spec JobSpec, corr string) (j *Job, info SubmitInfo, err error) {
 	if corr == "" {
 		corr = NewCorrelationID()
 	}
@@ -236,29 +278,37 @@ func (s *Server) SubmitCorrelated(spec JobSpec, corr string) (j *Job, hit bool, 
 	start := time.Now()
 	r, err := spec.Resolve()
 	if err != nil {
-		return nil, false, &BadSpecError{Err: err}
+		return nil, SubmitInfo{}, &BadSpecError{Err: err}
 	}
 
-	j, hit, disk, queueLen, err := s.admit(spec, r, corr, start)
+	j, tier, from, queueLen, err := s.admit(spec, r, corr, start)
+	info = SubmitInfo{Hit: tier != "", Tier: tier}
 	switch {
 	case err != nil:
 		s.jlog(slog.LevelWarn, "job rejected",
 			slog.String("correlation_id", corr),
 			slog.String("digest", r.Digest),
 			slog.String("reason", err.Error()))
-	case !hit:
+	case tier == "":
 		s.jlog(slog.LevelInfo, "job enqueued",
 			slog.String("correlation_id", corr),
 			slog.String("job", j.id),
 			slog.String("digest", r.Digest),
 			slog.Int("queue_len", queueLen))
-	case disk:
+	case tier == TierDisk:
 		s.jlog(slog.LevelInfo, "job disk-warm hit",
 			slog.String("correlation_id", corr),
 			slog.String("job", j.id),
 			slog.String("digest", r.Digest),
 			slog.Int("bytes", len(j.Result())))
-	case j.State() == StateDone:
+	case tier == TierRemote:
+		s.jlog(slog.LevelInfo, "job remote-warm hit",
+			slog.String("correlation_id", corr),
+			slog.String("job", j.id),
+			slog.String("digest", r.Digest),
+			slog.String("peer", from),
+			slog.Int("bytes", len(j.Result())))
+	case tier == TierMemory:
 		s.jlog(slog.LevelInfo, "job cache hit",
 			slog.String("correlation_id", corr),
 			slog.String("job", j.id),
@@ -271,21 +321,23 @@ func (s *Server) SubmitCorrelated(spec JobSpec, corr string) (j *Job, hit bool, 
 			slog.String("job_correlation_id", j.corr),
 			slog.String("digest", r.Digest))
 	}
-	return j, hit, err
+	return j, info, err
 }
 
-// admit is the tiered core of SubmitCorrelated: memory (an existing job for
+// admit is the tiered core of SubmitDetailed: memory (an existing job for
 // this digest), then the persistent store (a result computed by an earlier
-// process — or an earlier life of this one), then a real enqueue. Disk I/O
-// happens outside the server lock; cas single-flights concurrent loads of
-// one key, and the locked re-check after the probe keeps the first
-// installation the winner.
-func (s *Server) admit(spec JobSpec, r *Resolved, corr string, start time.Time) (j *Job, hit, disk bool, queueLen int, err error) {
+// process — or an earlier life of this one), then the sibling replicas'
+// caches (a result computed anywhere in the cluster), then a real enqueue.
+// Disk and network I/O happen outside the server lock; cas single-flights
+// concurrent loads of one key, and the locked re-check after each probe
+// keeps the first installation the winner. from names the sibling that
+// served a TierRemote hit ("" otherwise).
+func (s *Server) admit(spec JobSpec, r *Resolved, corr string, start time.Time) (j *Job, tier, from string, queueLen int, err error) {
 	s.mu.Lock()
 	s.submitted++
-	if prev, served := s.memoryHitLocked(r.Digest, start); served {
+	if prev, t := s.memoryHitLocked(r.Digest, start); t != "" {
 		s.mu.Unlock()
-		return prev, true, false, len(s.queue), nil
+		return prev, t, "", len(s.queue), nil
 	}
 	// Poison quarantine: a digest that keeps failing deterministically
 	// fast-fails here instead of burning another worker. Checked before
@@ -293,28 +345,47 @@ func (s *Server) admit(spec JobSpec, r *Resolved, corr string, start time.Time) 
 	if pe := s.poisonedLocked(r.Digest, start); pe != nil {
 		s.poisonRejects++
 		s.mu.Unlock()
-		return nil, false, false, 0, pe
+		return nil, "", "", 0, pe
 	}
 	s.mu.Unlock()
 
-	if s.breaker.allow() {
+	if s.breaker.Allow() {
 		if body, ok := s.store.Get(casResultNS, r.Digest); ok {
 			now := time.Now()
 			s.mu.Lock()
 			defer s.mu.Unlock()
 			// Another submission may have installed this digest while we were
 			// reading the disk; serve that one instead of replacing it.
-			if prev, served := s.memoryHitLocked(r.Digest, start); served {
-				return prev, true, false, len(s.queue), nil
+			if prev, t := s.memoryHitLocked(r.Digest, start); t != "" {
+				return prev, t, "", len(s.queue), nil
 			}
-			s.nextID++
-			j = newJob("job-"+strconv.FormatUint(s.nextID, 10), corr, spec, r, start, 0)
-			j.finish(body, nil, now)
-			s.jobs[j.id] = j
-			s.byDigest[r.Digest] = j
+			j = s.installFinishedLocked(corr, spec, r, start, body, now)
 			s.diskHits++
 			s.diskHitMicros.Observe(uint64(time.Since(start).Microseconds()))
-			return j, true, true, len(s.queue), nil
+			return j, TierDisk, "", len(s.queue), nil
+		}
+	}
+
+	if s.opts.RemoteFetch != nil {
+		if body, peer, ok := s.opts.RemoteFetch(context.Background(), r.Digest); ok {
+			now := time.Now()
+			s.mu.Lock()
+			if prev, t := s.memoryHitLocked(r.Digest, start); t != "" {
+				s.mu.Unlock()
+				return prev, t, "", len(s.queue), nil
+			}
+			j = s.installFinishedLocked(corr, spec, r, start, body, now)
+			s.remoteHits++
+			s.remoteHitMicros.Observe(uint64(time.Since(start).Microseconds()))
+			queueLen = len(s.queue)
+			s.mu.Unlock()
+			// Spread the warmth: publish the fetched body locally so the next
+			// restart — and the next sibling probe — finds it on this node.
+			// Outside the lock (disk I/O), gated by the disk breaker.
+			if s.breaker.Allow() {
+				s.store.Put(casResultNS, r.Digest, body)
+			}
+			return j, TierRemote, peer, queueLen, nil
 		}
 	}
 
@@ -322,11 +393,11 @@ func (s *Server) admit(spec JobSpec, r *Resolved, corr string, start time.Time) 
 	defer s.mu.Unlock()
 	// Re-check: a duplicate submission may have enqueued while we missed
 	// the disk.
-	if prev, served := s.memoryHitLocked(r.Digest, start); served {
-		return prev, true, false, len(s.queue), nil
+	if prev, t := s.memoryHitLocked(r.Digest, start); t != "" {
+		return prev, t, "", len(s.queue), nil
 	}
 	if s.draining {
-		return nil, false, false, 0, ErrDraining
+		return nil, "", "", 0, ErrDraining
 	}
 	// Deadline-aware admission: reject a deadline the observed service
 	// rate and current backlog provably cannot meet, instead of admitting
@@ -336,7 +407,7 @@ func (s *Server) admit(spec JobSpec, r *Resolved, corr string, start time.Time) 
 		if svc, ok := s.meanServiceLocked(); ok {
 			if wait := s.backlogWaitLocked(svc); wait+svc > timeout {
 				s.deadlineRej++
-				return nil, false, false, 0, &UnmeetableDeadlineError{
+				return nil, "", "", 0, &UnmeetableDeadlineError{
 					Deadline:   timeout,
 					Estimate:   wait + svc,
 					RetryAfter: clampRetryAfter(wait),
@@ -358,29 +429,71 @@ func (s *Server) admit(spec JobSpec, r *Resolved, corr string, start time.Time) 
 		s.rejected++
 		s.cacheMisses-- // never admitted; keep the hit ratio honest
 		j.release()
-		return nil, false, false, 0, &QueueFullError{RetryAfter: s.retryAfterLocked()}
+		return nil, "", "", 0, &QueueFullError{RetryAfter: s.retryAfterLocked()}
 	}
 	s.jobs[j.id] = j
 	s.byDigest[r.Digest] = j
 	go s.watchCancel(j)
-	return j, false, false, len(s.queue), nil
+	return j, "", "", len(s.queue), nil
 }
 
-// memoryHitLocked classifies a digest hit on an existing job and counts it.
-// A failed job never serves as a hit (its digest claim is dropped on
-// failure; the state check covers the window before the drop).
-func (s *Server) memoryHitLocked(digest string, start time.Time) (*Job, bool) {
+// installFinishedLocked installs a pre-finished job for a body fetched from
+// a warm tier (disk or a sibling replica): the submission gets a job whose
+// result serves immediately, and future submissions of the digest are
+// memory hits. Caller holds s.mu.
+func (s *Server) installFinishedLocked(corr string, spec JobSpec, r *Resolved, start time.Time, body []byte, now time.Time) *Job {
+	s.nextID++
+	j := newJob("job-"+strconv.FormatUint(s.nextID, 10), corr, spec, r, start, 0)
+	j.finish(body, nil, now)
+	s.jobs[j.id] = j
+	s.byDigest[r.Digest] = j
+	return j
+}
+
+// memoryHitLocked classifies a digest hit on an existing job and counts it,
+// returning the serving tier (TierMemory for a completed job, TierDedup for
+// an in-flight one, "" for no hit). A failed job never serves as a hit (its
+// digest claim is dropped on failure; the state check covers the window
+// before the drop).
+func (s *Server) memoryHitLocked(digest string, start time.Time) (*Job, string) {
 	prev := s.byDigest[digest]
 	if prev == nil || prev.State() == StateFailed {
-		return nil, false
+		return nil, ""
 	}
 	if prev.State() == StateDone {
 		s.cacheHits++
 		s.hitMicros.Observe(uint64(time.Since(start).Microseconds()))
-	} else {
-		s.deduped++
+		return prev, TierMemory
 	}
-	return prev, true
+	s.deduped++
+	return prev, TierDedup
+}
+
+// CachedResult answers the sibling-cache probe (GET /v1/cache/{digest}): the
+// stored bytes for a digest if this node already has them — a completed job
+// in memory, or the persistent store (breaker-gated) — and the tier they
+// came from. It never computes and never touches the admission queue, so a
+// sibling probing N replicas costs N lookups, not N simulations.
+func (s *Server) CachedResult(digest string) (body []byte, tier string, ok bool) {
+	s.mu.Lock()
+	s.cacheProbes++
+	prev := s.byDigest[digest]
+	s.mu.Unlock()
+	if prev != nil && prev.State() == StateDone {
+		s.mu.Lock()
+		s.probeHits++
+		s.mu.Unlock()
+		return prev.Result(), TierMemory, true
+	}
+	if s.breaker.Allow() {
+		if body, ok := s.store.Get(casResultNS, digest); ok {
+			s.mu.Lock()
+			s.probeHits++
+			s.mu.Unlock()
+			return body, TierDisk, true
+		}
+	}
+	return nil, "", false
 }
 
 // Job looks a job up by ID.
@@ -570,7 +683,7 @@ func (s *Server) runJob(j *Job) {
 	s.coldMicros.Observe(uint64(finished.Sub(j.submitted).Microseconds()))
 	s.mu.Unlock()
 
-	if failure == nil && s.breaker.allow() {
+	if failure == nil && s.breaker.Allow() {
 		// Publish the rendered body so a future process — or this one
 		// after a restart — serves the digest from disk. Outside the lock:
 		// Put is disk I/O. Gated by the breaker: while the disk is sick,
@@ -805,13 +918,19 @@ type Metrics struct {
 	CacheEntries    int     `json:"cache_entries"`
 	CacheHits       uint64  `json:"cache_hits"`
 	CacheDiskHits   uint64  `json:"cache_disk_hits"`
+	CacheRemoteHits uint64  `json:"cache_remote_hits"`
 	CacheMisses     uint64  `json:"cache_misses"`
 	DedupedInFlight uint64  `json:"deduped_in_flight"`
 	CacheHitRatio   float64 `json:"cache_hit_ratio"`
+	// Sibling-cache probes answered by this node (GET /v1/cache/{digest})
+	// and how many found a stored result.
+	CacheProbes    uint64 `json:"cache_probes"`
+	CacheProbeHits uint64 `json:"cache_probe_hits"`
 
-	ColdLatencyMicros    telemetry.HistogramSnapshot `json:"cold_latency_micros"`
-	HitLatencyMicros     telemetry.HistogramSnapshot `json:"cache_hit_latency_micros"`
-	DiskHitLatencyMicros telemetry.HistogramSnapshot `json:"disk_hit_latency_micros"`
+	ColdLatencyMicros      telemetry.HistogramSnapshot `json:"cold_latency_micros"`
+	HitLatencyMicros       telemetry.HistogramSnapshot `json:"cache_hit_latency_micros"`
+	DiskHitLatencyMicros   telemetry.HistogramSnapshot `json:"disk_hit_latency_micros"`
+	RemoteHitLatencyMicros telemetry.HistogramSnapshot `json:"remote_hit_latency_micros"`
 
 	// CAS is the persistent store's own view — hits, misses, evictions,
 	// quarantined entries, resident set, and disk I/O latencies. nil when
@@ -872,12 +991,16 @@ func (s *Server) MetricsSnapshot() Metrics {
 		CacheEntries:    len(s.byDigest),
 		CacheHits:       s.cacheHits,
 		CacheDiskHits:   s.diskHits,
+		CacheRemoteHits: s.remoteHits,
 		CacheMisses:     s.cacheMisses,
 		DedupedInFlight: s.deduped,
+		CacheProbes:     s.cacheProbes,
+		CacheProbeHits:  s.probeHits,
 
-		ColdLatencyMicros:    s.coldMicros.Snapshot(),
-		HitLatencyMicros:     s.hitMicros.Snapshot(),
-		DiskHitLatencyMicros: s.diskHitMicros.Snapshot(),
+		ColdLatencyMicros:      s.coldMicros.Snapshot(),
+		HitLatencyMicros:       s.hitMicros.Snapshot(),
+		DiskHitLatencyMicros:   s.diskHitMicros.Snapshot(),
+		RemoteHitLatencyMicros: s.remoteHitMicros.Snapshot(),
 
 		QueueWaitMicros:     s.stageMicros[stageQueue].Snapshot(),
 		BuildLatencyMicros:  s.stageMicros[stageBuild].Snapshot(),
@@ -887,15 +1010,15 @@ func (s *Server) MetricsSnapshot() Metrics {
 	if s.store != nil {
 		st := s.store.Stats()
 		m.CAS = &st
-		bs := s.breaker.stats()
+		bs := s.breaker.Stats()
 		m.Breaker = &bs
 	}
 	if s.chaos != nil {
 		cs := s.chaos.Stats()
 		m.Chaos = &cs
 	}
-	if served := m.CacheHits + m.CacheDiskHits + m.DedupedInFlight + m.CacheMisses; served > 0 {
-		m.CacheHitRatio = float64(m.CacheHits+m.CacheDiskHits+m.DedupedInFlight) / float64(served)
+	if served := m.CacheHits + m.CacheDiskHits + m.CacheRemoteHits + m.DedupedInFlight + m.CacheMisses; served > 0 {
+		m.CacheHitRatio = float64(m.CacheHits+m.CacheDiskHits+m.CacheRemoteHits+m.DedupedInFlight) / float64(served)
 	}
 	return m
 }

@@ -1,0 +1,86 @@
+#!/bin/sh
+# Regenerates BENCH_cluster.json, the cluster throughput artifact: tlsload
+# drives a Zipf-popular digest population, closed-loop, first against one
+# tlsd and then against a 3-worker fleet behind tlsrouter (workers peered
+# for the remote cache tier). Both legs share the seed and population, so
+# the comparison isolates the topology. Compare against BENCH_service.json
+# for the in-process (no-HTTP) serving ceiling.
+#
+# Tunables ride through the environment:
+#   DURATION=10s CONCURRENCY=16 DIGESTS=24 ZIPF=1.1 scripts/regen-cluster-bench.sh
+set -e
+cd "$(dirname "$0")/.."
+
+DURATION="${DURATION:-10s}"
+CONCURRENCY="${CONCURRENCY:-16}"
+DIGESTS="${DIGESTS:-24}"
+ZIPF="${ZIPF:-1.1}"
+
+ADDR_1=127.0.0.1:18093
+ADDR_2=127.0.0.1:18094
+ADDR_3=127.0.0.1:18095
+ADDR_R=127.0.0.1:18096
+TMP="$(mktemp -d)"
+PIDS=""
+trap 'for P in $PIDS; do kill $P 2>/dev/null || true; done; rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/tlsd" ./cmd/tlsd
+go build -o "$TMP/tlsrouter" ./cmd/tlsrouter
+go build -o "$TMP/tlsload" ./cmd/tlsload
+
+await_ready() {
+    for i in $(seq 1 100); do
+        if curl -fsS "http://$1/readyz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "regen-cluster-bench: $1 never became ready" >&2
+    exit 1
+}
+
+# Leg 1: a single worker, loaded directly.
+"$TMP/tlsd" -addr "$ADDR_1" -cache-dir "$TMP/cas-single" >/dev/null 2>&1 &
+PID_SINGLE=$!
+PIDS="$PIDS $PID_SINGLE"
+await_ready "$ADDR_1"
+"$TMP/tlsload" -target "http://$ADDR_1" -duration "$DURATION" \
+    -concurrency "$CONCURRENCY" -digests "$DIGESTS" -zipf-s "$ZIPF" \
+    -out "$TMP/single.json"
+kill -TERM "$PID_SINGLE"
+wait "$PID_SINGLE" || true
+
+# Leg 2: three peered workers behind the router, same load.
+"$TMP/tlsd" -addr "$ADDR_1" -cache-dir "$TMP/cas-1" \
+    -peers "http://$ADDR_2,http://$ADDR_3" >/dev/null 2>&1 &
+PIDS="$PIDS $!"
+"$TMP/tlsd" -addr "$ADDR_2" -cache-dir "$TMP/cas-2" \
+    -peers "http://$ADDR_1,http://$ADDR_3" >/dev/null 2>&1 &
+PIDS="$PIDS $!"
+"$TMP/tlsd" -addr "$ADDR_3" -cache-dir "$TMP/cas-3" \
+    -peers "http://$ADDR_1,http://$ADDR_2" >/dev/null 2>&1 &
+PIDS="$PIDS $!"
+"$TMP/tlsrouter" -addr "$ADDR_R" \
+    -workers "http://$ADDR_1,http://$ADDR_2,http://$ADDR_3" >/dev/null 2>&1 &
+PIDS="$PIDS $!"
+await_ready "$ADDR_1"
+await_ready "$ADDR_2"
+await_ready "$ADDR_3"
+await_ready "$ADDR_R"
+"$TMP/tlsload" -target "http://$ADDR_R" -duration "$DURATION" \
+    -concurrency "$CONCURRENCY" -digests "$DIGESTS" -zipf-s "$ZIPF" \
+    -out "$TMP/cluster.json"
+
+# Assemble the artifact: both legs plus the provenance line.
+{
+    printf '{\n'
+    printf '  "note": "tlsload closed-loop, Zipf(s=%s) over %s digests, %s workers, %s per leg; single tlsd vs 3 peered workers behind tlsrouter. Regenerate with scripts/regen-cluster-bench.sh.",\n' \
+        "$ZIPF" "$DIGESTS" "$CONCURRENCY" "$DURATION"
+    printf '  "single_node": '
+    cat "$TMP/single.json"
+    printf ',\n  "cluster_3x": '
+    cat "$TMP/cluster.json"
+    printf '}\n'
+} >BENCH_cluster.json
+
+echo "regen-cluster-bench: wrote BENCH_cluster.json"
