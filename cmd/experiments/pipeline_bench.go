@@ -10,6 +10,7 @@ import (
 
 	"subthreads/internal/sim"
 	"subthreads/internal/tpcc"
+	"subthreads/internal/version"
 	"subthreads/internal/workload"
 )
 
@@ -18,12 +19,7 @@ import (
 // inputs), the build cache's effectiveness, and the simulator's allocation
 // rate. Regenerate with scripts/regen-pipeline-bench.sh.
 type pipelineBench struct {
-	Host struct {
-		GoVersion string `json:"go_version"`
-		OS        string `json:"os"`
-		Arch      string `json:"arch"`
-		CPUs      int    `json:"cpus"`
-	} `json:"host"`
+	Host     version.HostInfo `json:"host"`
 	Workload struct {
 		Txns   int    `json:"txns"`
 		Warmup int    `json:"warmup"`
@@ -36,13 +32,21 @@ type pipelineBench struct {
 		JNSeconds       float64 `json:"jn_seconds"`
 		Speedup         float64 `json:"speedup"`
 		IdenticalOutput bool    `json:"identical_output"`
-		Simulations     int     `json:"simulations"`
-		BuildsJ1        int     `json:"builds_j1"`
-		BuildsJN        int     `json:"builds_jn"`
-		MemoryHitsJ1    int     `json:"memory_hits_j1"`
-		MemoryHitsJN    int     `json:"memory_hits_jn"`
-		DiskHitsJ1      int     `json:"disk_hits_j1"`
-		DiskHitsJN      int     `json:"disk_hits_jn"`
+		// Simulations is the number of simulation tasks the suite issued;
+		// SimsRun / SimsForked / SimsMemoized split them by how they were
+		// satisfied: executed in full, forked from a shared prefix
+		// checkpoint, or served from the exact-run memo. The split is
+		// measured at -j 1 and identical at every -j.
+		Simulations  int `json:"simulations"`
+		SimsRun      int `json:"sims_run"`
+		SimsForked   int `json:"sims_forked"`
+		SimsMemoized int `json:"sims_memoized"`
+		BuildsJ1     int `json:"builds_j1"`
+		BuildsJN     int `json:"builds_jn"`
+		MemoryHitsJ1 int `json:"memory_hits_j1"`
+		MemoryHitsJN int `json:"memory_hits_jn"`
+		DiskHitsJ1   int `json:"disk_hits_j1"`
+		DiskHitsJN   int `json:"disk_hits_jn"`
 	} `json:"suite"`
 	Sim struct {
 		Bench          string  `json:"bench"`
@@ -54,37 +58,32 @@ type pipelineBench struct {
 
 // pipelineSuite runs the benchmark suite (the two figure generators whose
 // sweeps dominate -all) on a fresh runner with the given worker count.
-func pipelineSuite(o options, jobs int) (out string, sims int, stats workload.BuildStats, elapsed time.Duration) {
-	r := newRunner(jobs)
+func pipelineSuite(o options, jobs int) (out string, r *runner, elapsed time.Duration) {
+	r = newRunner(jobs)
 	o.par = r
 	var buf bytes.Buffer
 	start := time.Now()
 	runFigure5(&buf, o)
 	runFigure6(&buf, o)
 	elapsed = time.Since(start)
-	benches := len(o.benchmarks(tpcc.All()))
-	profitable := len(o.benchmarks(tpcc.TLSProfitable()))
-	sims = benches*len(figure5Experiments) + profitable*16
-	return buf.String(), sims, r.builder.Stats(), elapsed
+	return buf.String(), r, elapsed
 }
 
 // runPipelineBench measures the pipeline and writes the JSON artifact.
 func runPipelineBench(path string, o options) error {
 	jn := o.par.jobs
 	var b pipelineBench
-	b.Host.GoVersion = runtime.Version()
-	b.Host.OS = runtime.GOOS
-	b.Host.Arch = runtime.GOARCH
-	b.Host.CPUs = runtime.NumCPU()
+	b.Host = version.Host()
 	b.Workload.Txns = o.txns
 	b.Workload.Warmup = o.warmup
 	b.Workload.Seed = o.seed
 	b.Workload.Suite = "figure5+figure6"
 
 	fmt.Fprintf(os.Stderr, "pipeline-bench: suite at -j 1...\n")
-	out1, sims, stats1, t1 := pipelineSuite(o, 1)
+	out1, r1, t1 := pipelineSuite(o, 1)
 	fmt.Fprintf(os.Stderr, "pipeline-bench: suite at -j %d...\n", jn)
-	outN, _, statsN, tN := pipelineSuite(o, jn)
+	outN, rN, tN := pipelineSuite(o, jn)
+	stats1, statsN := r1.builder.Stats(), rN.builder.Stats()
 
 	b.Suite.J1Seconds = t1.Seconds()
 	b.Suite.JN = jn
@@ -93,7 +92,16 @@ func runPipelineBench(path string, o options) error {
 		b.Suite.Speedup = t1.Seconds() / tN.Seconds()
 	}
 	b.Suite.IdenticalOutput = out1 == outN
-	b.Suite.Simulations = sims
+	run1, forked1, memo1 := r1.Sims()
+	runN, forkedN, memoN := rN.Sims()
+	if run1 != runN || forked1 != forkedN || memo1 != memoN {
+		return fmt.Errorf("pipeline-bench: sims split differs across -j: %d/%d/%d vs %d/%d/%d",
+			run1, forked1, memo1, runN, forkedN, memoN)
+	}
+	b.Suite.Simulations = run1 + forked1 + memo1
+	b.Suite.SimsRun = run1
+	b.Suite.SimsForked = forked1
+	b.Suite.SimsMemoized = memo1
 	b.Suite.BuildsJ1 = stats1.Builds
 	b.Suite.BuildsJN = statsN.Builds
 	b.Suite.MemoryHitsJ1 = stats1.MemoryHits
@@ -128,9 +136,10 @@ func runPipelineBench(path string, o options) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr,
-		"pipeline-bench: j=1 %.1fs, j=%d %.1fs (%.2fx), identical=%v, builds %d/%d (memory hits %d/%d), %.0f allocs/epoch -> %s\n",
+		"pipeline-bench: j=1 %.1fs, j=%d %.1fs (%.2fx), identical=%v, sims %d run + %d forked + %d memoized, builds %d/%d (memory hits %d/%d), %.0f allocs/epoch -> %s\n",
 		b.Suite.J1Seconds, jn, b.Suite.JNSeconds, b.Suite.Speedup,
-		b.Suite.IdenticalOutput, stats1.Builds, statsN.Builds,
+		b.Suite.IdenticalOutput, b.Suite.SimsRun, b.Suite.SimsForked, b.Suite.SimsMemoized,
+		stats1.Builds, statsN.Builds,
 		stats1.MemoryHits, statsN.MemoryHits, b.Sim.AllocsPerEpoch, path)
 	if !b.Suite.IdenticalOutput {
 		return fmt.Errorf("pipeline-bench: -j 1 and -j %d outputs differ", jn)

@@ -24,6 +24,22 @@ func progress(name string, sims int, start time.Time, r *runner) {
 // replays the same binary against many machines — figure6, victim, spawn —
 // performs exactly one database load + trace recording per distinct spec,
 // and concurrent workers share it safely (Built is read-only under sim.Run).
+//
+// On top of the build cache sit two simulation caches:
+//
+//   - an exact-run memo keyed by {spec, software mode, full config digest}:
+//     the same simulation requested twice (figure5 and figure6 both run
+//     SEQUENTIAL on each benchmark, for example) executes once;
+//   - a prefix-snapshot cache keyed by {spec, prefix digest}: the first
+//     simulation of a group whose configs differ only in fork-safe
+//     parameters (sub-thread count/size, spawn policy, penalties, overflow
+//     policy, ...) captures a checkpoint at the end of the program's leading
+//     barrier prefix, and every later member forks from it instead of
+//     replaying the prefix.
+//
+// Both are sound because sim.ResumeE guarantees byte-identical results, so
+// parDo's determinism contract — identical output for every -j — still
+// holds; only sims_run/sims_forked change, and those deterministically.
 type runner struct {
 	jobs    int
 	builder *workload.Builder
@@ -36,16 +52,61 @@ type runner struct {
 	paranoid  bool
 	injectCfg *inject.Config
 
+	mu    sync.Mutex
+	memo  map[simKey]*memoEntry
+	snaps map[simKey]*snapEntry
+
+	// Simulation accounting: full runs executed, runs forked from a prefix
+	// snapshot, and exact-duplicate results served from the memo. The split
+	// is deterministic (one full run per prefix group, one execution per
+	// distinct simulation) even though which task wins a race is not.
+	simsRun    atomic.Int64
+	simsForked atomic.Int64
+	simsMemo   atomic.Int64
+
 	// failed counts tasks that panicked (recovered by parDo); any failure
 	// makes the suite exit non-zero after the remaining experiments finish.
 	failed atomic.Int64
+}
+
+// simKey identifies a simulation (or a prefix-sharing group) within a suite:
+// the workload spec plus software mode pin the program, the digest pins the
+// machine (FullDigest for the memo, PrefixDigest for the snapshot cache).
+type simKey struct {
+	spec   workload.Spec
+	seq    bool
+	digest string
+}
+
+// memoEntry is a single-flight slot for one exact simulation.
+type memoEntry struct {
+	once sync.Once
+	res  *sim.Result
+}
+
+// snapEntry is a single-flight slot for one prefix group's checkpoint; snap
+// stays nil when the capturing run produced no forkable snapshot (no leading
+// barrier, speculative state at the boundary, or a panic).
+type snapEntry struct {
+	once sync.Once
+	snap *sim.Snapshot
 }
 
 func newRunner(jobs int) *runner {
 	if jobs < 1 {
 		jobs = 1
 	}
-	return &runner{jobs: jobs, builder: workload.NewBuilder()}
+	return &runner{
+		jobs:    jobs,
+		builder: workload.NewBuilder(),
+		memo:    make(map[simKey]*memoEntry),
+		snaps:   make(map[simKey]*snapEntry),
+	}
+}
+
+// Sims reports the full / forked / memoized simulation split.
+func (r *runner) Sims() (run, forked, memoized int) {
+	return int(r.simsRun.Load()), int(r.simsForked.Load()), int(r.simsMemo.Load())
 }
 
 // apply overlays the suite-wide hardening options on one machine config.
@@ -133,19 +194,100 @@ type runOut struct {
 
 // run simulates a Figure 5 experiment through the build cache.
 func (r *runner) run(spec workload.Spec, e workload.Experiment) runOut {
-	built := r.builder.Build(spec, e.SequentialSoftware())
-	return runOut{sim.Run(r.apply(workload.Machine(e)), built.Program), built}
+	return r.runOn(spec, e.SequentialSoftware(), workload.Machine(e))
 }
 
 // runConfig simulates the TLS binary on a custom machine through the cache.
 func (r *runner) runConfig(spec workload.Spec, cfg sim.Config) runOut {
-	built := r.builder.Build(spec, false)
-	return runOut{sim.Run(r.apply(cfg), built.Program), built}
+	return r.runOn(spec, false, cfg)
 }
 
 // runSeqConfig simulates the SEQUENTIAL binary on a custom machine (the
 // core-model ablations vary the machine under both software modes).
 func (r *runner) runSeqConfig(spec workload.Spec, cfg sim.Config) runOut {
-	built := r.builder.Build(spec, true)
-	return runOut{sim.Run(r.apply(cfg), built.Program), built}
+	return r.runOn(spec, true, cfg)
+}
+
+// runOn routes one simulation through the exact-run memo and, for TLS
+// programs, the prefix-snapshot cache.
+func (r *runner) runOn(spec workload.Spec, sequential bool, cfg sim.Config) runOut {
+	built := r.builder.Build(spec, sequential)
+	cfg = r.apply(cfg)
+	e := r.memoEntry(simKey{spec, sequential, sim.FullDigest(cfg)})
+	executed := false
+	e.once.Do(func() {
+		executed = true
+		e.res = r.simulate(spec, sequential, cfg, built.Program)
+	})
+	if !executed {
+		if e.res == nil {
+			// The winning task panicked; fail this duplicate the same way a
+			// fresh run would have.
+			panic(fmt.Sprintf("experiments: duplicate of a failed simulation (spec %+v)", spec))
+		}
+		r.simsMemo.Add(1)
+	}
+	return runOut{e.res, built}
+}
+
+// simulate executes one distinct simulation, forking from the prefix group's
+// shared snapshot when one exists and falling back to a full run otherwise.
+// Fault-injected runs never fork (a checkpoint would skip scheduled faults);
+// sequential programs are all barrier, so their "prefix" is the whole run and
+// sharing it would just hold a full machine image for no reuse.
+func (r *runner) simulate(spec workload.Spec, sequential bool, cfg sim.Config, prog *sim.Program) *sim.Result {
+	if cfg.Inject != nil || sequential {
+		r.simsRun.Add(1)
+		return sim.Run(cfg, prog)
+	}
+	g := r.snapEntry(simKey{spec, sequential, sim.PrefixDigest(cfg)})
+	var res *sim.Result
+	captured := false
+	g.once.Do(func() {
+		captured = true
+		runCfg := cfg
+		runCfg.SnapshotAtPrefix = true
+		runCfg.SnapshotSink = func(s *sim.Snapshot) {
+			if s.Forkable {
+				g.snap = s
+			}
+		}
+		r.simsRun.Add(1)
+		res = sim.Run(runCfg, prog)
+	})
+	if captured {
+		return res
+	}
+	if g.snap != nil {
+		if res, err := sim.ResumeE(cfg, prog, g.snap); err == nil {
+			r.simsForked.Add(1)
+			return res
+		} else {
+			fmt.Fprintf(os.Stderr, "experiments: prefix fork failed (%v); replaying in full\n", err)
+		}
+	}
+	r.simsRun.Add(1)
+	return sim.Run(cfg, prog)
+}
+
+func (r *runner) memoEntry(k simKey) *memoEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.memo[k]
+	if !ok {
+		e = &memoEntry{}
+		r.memo[k] = e
+	}
+	return e
+}
+
+func (r *runner) snapEntry(k simKey) *snapEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.snaps[k]
+	if !ok {
+		e = &snapEntry{}
+		r.snaps[k] = e
+	}
+	return e
 }

@@ -33,6 +33,7 @@ import (
 	"subthreads/internal/cliflags"
 	"subthreads/internal/service"
 	"subthreads/internal/telemetry"
+	"subthreads/internal/version"
 )
 
 func main() {
@@ -236,6 +237,9 @@ func (st *stats) one(ctx context.Context, cli *service.Client, spec service.JobS
 // Report is the tlsload JSON artifact; regen-cluster-bench.sh aggregates
 // one per topology into BENCH_cluster.json.
 type Report struct {
+	// Host records what machine and toolchain produced the numbers.
+	Host version.HostInfo `json:"host"`
+
 	Target          string  `json:"target"`
 	Mode            string  `json:"mode"`
 	Concurrency     int     `json:"concurrency"`
@@ -273,6 +277,7 @@ func (st *stats) report(target, mode string, conc int, rate float64, elapsed tim
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	r := Report{
+		Host:   version.Host(),
 		Target: target, Mode: mode, Concurrency: conc, RateTarget: rate,
 		DurationSeconds: elapsed.Seconds(), Digests: digests, ZipfS: zipfS, Seed: seed,
 		Requests: st.requests.Load(), Errors: st.errors.Load(), Shed: st.shed.Load(),

@@ -1,0 +1,48 @@
+package predict
+
+import (
+	"sort"
+
+	"subthreads/internal/isa"
+	"subthreads/internal/snapbin"
+)
+
+// Snapshot codec: the confidence map serializes in ascending PC order so the
+// encoding is deterministic regardless of map iteration order.
+
+const maxSnapPCs = 1 << 22
+
+// AppendState serializes the predictor's confidence table and counters.
+func (p *Predictor) AppendState(w *snapbin.Writer) {
+	pcs := make([]isa.PC, 0, len(p.conf))
+	for pc := range p.conf {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	w.Uvarint(uint64(len(pcs)))
+	for _, pc := range pcs {
+		w.Uvarint(uint64(pc))
+		w.U8(p.conf[pc])
+	}
+	w.Uvarint(p.Trained)
+	w.Uvarint(p.Decayed)
+}
+
+// RestoreState rebuilds the predictor from r.
+func (p *Predictor) RestoreState(r *snapbin.Reader) {
+	n := r.Count("predictor pcs", maxSnapPCs)
+	clear(p.conf)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		pc := isa.PC(r.Uvarint("predictor pc"))
+		p.conf[pc] = r.U8("predictor confidence")
+	}
+	p.Trained = r.Uvarint("predictor trained")
+	p.Decayed = r.Uvarint("predictor decayed")
+}
+
+// Empty reports whether the predictor carries no trained state at all — the
+// forkability test for prefix snapshots (an untouched predictor restores
+// identically under any configuration).
+func (p *Predictor) Empty() bool {
+	return len(p.conf) == 0 && p.Trained == 0 && p.Decayed == 0
+}

@@ -1,0 +1,100 @@
+package profile
+
+import (
+	"sort"
+
+	"subthreads/internal/isa"
+	"subthreads/internal/mem"
+	"subthreads/internal/snapbin"
+)
+
+// Snapshot codecs. The exposed load table serializes only its live entries
+// (most slots are empty between epochs); the pair list serializes in
+// ascending (LoadPC, StorePC) order so the encoding is deterministic.
+
+const maxSnapPairs = 1 << 22
+
+// AppendState serializes the table's live entries.
+func (t *ExposedLoadTable) AppendState(w *snapbin.Writer) {
+	live := 0
+	for i := range t.tags {
+		if t.tags[i] != 0 || t.pcs[i] != 0 {
+			live++
+		}
+	}
+	w.Uvarint(uint64(live))
+	for i := range t.tags {
+		if t.tags[i] != 0 || t.pcs[i] != 0 {
+			w.Uvarint(uint64(i))
+			w.Uvarint(uint64(t.tags[i]))
+			w.Uvarint(uint64(t.pcs[i]))
+		}
+	}
+}
+
+// RestoreState rebuilds the table from r; slot indexes outside the restore
+// target's geometry latch an error.
+func (t *ExposedLoadTable) RestoreState(r *snapbin.Reader) {
+	t.Reset()
+	n := r.Count("exposed-load entries", len(t.tags))
+	for i := 0; i < n && r.Err() == nil; i++ {
+		slot := r.Uvarint("exposed-load slot")
+		if r.Err() == nil && slot >= uint64(len(t.tags)) {
+			r.Failf("exposed-load slot %d out of range (%d entries)", slot, len(t.tags))
+			return
+		}
+		tag := mem.Addr(r.Uvarint("exposed-load tag"))
+		pc := isa.PC(r.Uvarint("exposed-load pc"))
+		if r.Err() == nil {
+			t.tags[slot] = tag
+			t.pcs[slot] = pc
+		}
+	}
+}
+
+// AppendState serializes the pair list's entries and reclaim count.
+func (l *PairList) AppendState(w *snapbin.Writer) {
+	pairs := make([]Pair, 0, len(l.pairs))
+	for p := range l.pairs {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].LoadPC != pairs[j].LoadPC {
+			return pairs[i].LoadPC < pairs[j].LoadPC
+		}
+		return pairs[i].StorePC < pairs[j].StorePC
+	})
+	w.Uvarint(uint64(len(pairs)))
+	for _, p := range pairs {
+		st := l.pairs[p]
+		w.Uvarint(uint64(p.LoadPC))
+		w.Uvarint(uint64(p.StorePC))
+		w.Uvarint(st.FailedCycles)
+		w.Uvarint(st.Violations)
+	}
+	w.Uvarint(l.Reclaimed)
+}
+
+// RestoreState rebuilds the pair list from r; entry counts above the restore
+// target's capacity latch an error.
+func (l *PairList) RestoreState(r *snapbin.Reader) {
+	n := r.Count("pair-list entries", min(l.capacity, maxSnapPairs))
+	clear(l.pairs)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		p := Pair{
+			LoadPC:  isa.PC(r.Uvarint("pair load pc")),
+			StorePC: isa.PC(r.Uvarint("pair store pc")),
+		}
+		st := &PairStat{Pair: p}
+		st.FailedCycles = r.Uvarint("pair failed cycles")
+		st.Violations = r.Uvarint("pair violations")
+		if r.Err() == nil {
+			l.pairs[p] = st
+		}
+	}
+	l.Reclaimed = r.Uvarint("pair reclaimed")
+}
+
+// Empty reports whether the profile carries no state — the forkability test
+// for prefix snapshots.
+func (l *PairList) Empty() bool { return len(l.pairs) == 0 && l.Reclaimed == 0 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"subthreads/internal/cas"
+	"subthreads/internal/version"
 )
 
 // BenchReport is the serving-layer benchmark artifact (BENCH_service.json):
@@ -17,6 +18,9 @@ import (
 // (queue, workers, digest cache), and the cold-vs-hit latency split that
 // justifies the content-addressed cache.
 type BenchReport struct {
+	// Host records what machine and toolchain produced the numbers.
+	Host version.HostInfo `json:"host"`
+
 	Workers       int     `json:"workers"`
 	QueueCapacity int     `json:"queue_capacity"`
 	DistinctSpecs int     `json:"distinct_specs"`
@@ -133,6 +137,7 @@ func RunBench(workers, rounds int) (BenchReport, error) {
 	m := s.MetricsSnapshot()
 	total := len(specs) * rounds
 	rep := BenchReport{
+		Host:             version.Host(),
 		Workers:          m.Workers,
 		QueueCapacity:    m.QueueCapacity,
 		DistinctSpecs:    len(specs),

@@ -53,6 +53,13 @@ func (s *Server) writeProm(w io.Writer) error {
 	p.Counter("tlsd_cache_deduped_total", "Submissions attached to an already in-flight duplicate.", m.DedupedInFlight)
 	p.Gauge("tlsd_cache_hit_ratio", "Fraction of classified submissions served without new work (0 until the first job).", m.CacheHitRatio)
 
+	p.Counter("tlsd_snapshot_hit_total", "Jobs forked from a stored machine checkpoint.", m.SnapshotHits)
+	p.Counter("tlsd_snapshot_miss_total", "Checkpoint probes that found no stored snapshot.", m.SnapshotMisses)
+	p.Counter("tlsd_snapshot_put_total", "Machine checkpoints published to the persistent store.", m.SnapshotPuts)
+	p.Counter("tlsd_snapshot_corrupt_total", "Machine checkpoints quarantined as undecodable or inapplicable.", m.SnapshotCorrupt)
+	p.Counter("tlsd_jobs_forked_total", "Executed jobs whose main simulation forked from a checkpoint.", m.JobsForked)
+	p.Counter("tlsd_jobs_replayed_total", "Executed jobs whose main simulation ran in full.", m.JobsReplayed)
+
 	p.Histogram("tlsd_job_cold_latency_microseconds",
 		"Submit-to-terminal latency of executed jobs.", m.ColdLatencyMicros)
 	p.Histogram("tlsd_cache_hit_latency_microseconds",

@@ -163,6 +163,12 @@ type Server struct {
 	cancelled     uint64 // jobs abandoned by disconnect/DELETE/drain
 	poisonRejects uint64 // submissions fast-failed on a quarantined digest
 	deadlineRej   uint64 // submissions rejected as unable to meet their deadline
+	snapHits      uint64 // checkpoint tier: jobs forked from a stored snapshot
+	snapMisses    uint64 // checkpoint tier: probes that found no snapshot
+	snapPuts      uint64 // checkpoint tier: snapshots published to the store
+	snapCorrupt   uint64 // checkpoint tier: snapshots quarantined as unusable
+	jobsForked    uint64 // executed jobs whose main sim forked from a snapshot
+	jobsReplayed  uint64 // executed jobs whose main sim ran in full
 	inFlight      int
 	coldMicros      telemetry.Histogram // submit -> terminal, simulated jobs
 	hitMicros       telemetry.Histogram // lookup time of memory cache-hit submissions
@@ -773,7 +779,7 @@ func (s *Server) execute(j *Job) (body []byte, failure *Failure) {
 	built := s.builder.Build(r.Spec, r.Exp.SequentialSoftware())
 	t = j.leaveStage(stageBuild, t)
 	j.enterStage(stageSim, t)
-	res, err := sim.RunE(cfg, built.Program)
+	res, err := s.simTLS(j, cfg, built, r)
 	t = j.leaveStage(stageSim, t)
 	if err != nil {
 		var re *sim.RunError
@@ -927,6 +933,15 @@ type Metrics struct {
 	CacheProbes    uint64 `json:"cache_probes"`
 	CacheProbeHits uint64 `json:"cache_probe_hits"`
 
+	// Checkpoint tier: machine-state snapshots forked from / probed /
+	// published / quarantined, and the executed-job fork-vs-replay split.
+	SnapshotHits    uint64 `json:"snapshot_hits"`
+	SnapshotMisses  uint64 `json:"snapshot_misses"`
+	SnapshotPuts    uint64 `json:"snapshot_puts"`
+	SnapshotCorrupt uint64 `json:"snapshot_corrupt"`
+	JobsForked      uint64 `json:"jobs_forked"`
+	JobsReplayed    uint64 `json:"jobs_replayed"`
+
 	ColdLatencyMicros      telemetry.HistogramSnapshot `json:"cold_latency_micros"`
 	HitLatencyMicros       telemetry.HistogramSnapshot `json:"cache_hit_latency_micros"`
 	DiskHitLatencyMicros   telemetry.HistogramSnapshot `json:"disk_hit_latency_micros"`
@@ -996,6 +1011,13 @@ func (s *Server) MetricsSnapshot() Metrics {
 		DedupedInFlight: s.deduped,
 		CacheProbes:     s.cacheProbes,
 		CacheProbeHits:  s.probeHits,
+
+		SnapshotHits:    s.snapHits,
+		SnapshotMisses:  s.snapMisses,
+		SnapshotPuts:    s.snapPuts,
+		SnapshotCorrupt: s.snapCorrupt,
+		JobsForked:      s.jobsForked,
+		JobsReplayed:    s.jobsReplayed,
 
 		ColdLatencyMicros:      s.coldMicros.Snapshot(),
 		HitLatencyMicros:       s.hitMicros.Snapshot(),

@@ -100,6 +100,22 @@ type machine struct {
 	// for the run loop to surface as a RunError.
 	err error
 
+	// Forward-progress watchdog state. These live on the machine (not as
+	// run-loop locals) so a snapshot carries them and a restored run's
+	// watchdog decisions are cycle-identical to the uninterrupted run's.
+	wdLastCommitted int
+	wdLastCommitAt  uint64
+	wdSyncRun       bool
+	wdAllSyncSince  uint64
+
+	// snapped is set once a snapshot has been captured (or the machine was
+	// itself restored from one), so a run emits at most one snapshot and a
+	// resumed run never re-captures.
+	snapped bool
+	// snapLeading counts the program's leading barrier units — the shared
+	// prefix a SnapshotAtPrefix capture keys off.
+	snapLeading int
+
 	res Result
 }
 
@@ -176,6 +192,7 @@ func newMachine(cfg Config, prog *Program) *machine {
 			m.cores[i].ifetch = newIFetcher(cfg.Mem)
 		}
 	}
+	m.snapLeading = leadingBarriers(prog)
 	return m
 }
 
@@ -196,11 +213,15 @@ func (m *machine) run() error {
 	if deadlock == 0 {
 		deadlock = 50000
 	}
-	var allSyncSince uint64
-	syncRun := false
-	var lastCommitAt uint64
-	lastCommitted := m.committed
 	for m.committed < len(m.prog.Units) {
+		// Snapshot capture sits at the very top of the cycle, before the
+		// inject drain and before any core steps: everything that happens
+		// at cycle N is then replayed identically by a resumed run. The
+		// nil test keeps the hot path at one pointer compare.
+		if m.cfg.SnapshotSink != nil && !m.snapped && m.wantSnapshot() {
+			m.snapped = true
+			m.captureSnapshot()
+		}
 		if m.cfg.Inject != nil {
 			for {
 				f, ok := m.cfg.Inject.Next(m.cycle)
@@ -225,10 +246,10 @@ func (m *machine) run() error {
 
 		// Forward-progress watchdog: livelock (nothing commits for too
 		// long) becomes a structured error instead of a hang.
-		if m.committed != lastCommitted {
-			lastCommitted = m.committed
-			lastCommitAt = m.cycle
-		} else if wd := m.cfg.WatchdogCycles; wd > 0 && m.cycle-lastCommitAt > wd {
+		if m.committed != m.wdLastCommitted {
+			m.wdLastCommitted = m.committed
+			m.wdLastCommitAt = m.cycle
+		} else if wd := m.cfg.WatchdogCycles; wd > 0 && m.cycle-m.wdLastCommitAt > wd {
 			return m.abandon("watchdog", fmt.Errorf(
 				"no unit committed for %d cycles (%d/%d committed)",
 				wd, m.committed, len(m.prog.Units)))
@@ -260,15 +281,15 @@ func (m *machine) run() error {
 			}
 		}
 		if busy > 0 && busy == stuck {
-			if !syncRun {
-				syncRun = true
-				allSyncSince = m.cycle
-			} else if m.cycle-allSyncSince > deadlock {
+			if !m.wdSyncRun {
+				m.wdSyncRun = true
+				m.wdAllSyncSince = m.cycle
+			} else if m.cycle-m.wdAllSyncSince > deadlock {
 				m.breakDeadlock()
-				syncRun = false
+				m.wdSyncRun = false
 			}
 		} else {
-			syncRun = false
+			m.wdSyncRun = false
 		}
 	}
 	m.res.Cycles = m.cycle

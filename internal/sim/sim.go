@@ -205,6 +205,26 @@ type Config struct {
 	// excluded from content digests.
 	Cancel func() error `json:"-"`
 
+	// SnapshotAtCycle, when nonzero, captures a whole-machine snapshot at
+	// the top of that simulated cycle — before the cycle's fault drain and
+	// core steps — and hands it to SnapshotSink. A run restored from the
+	// snapshot replays the remainder byte-identically (see ResumeE).
+	// Runtime-only plumbing like Telemetry — excluded from content digests,
+	// and with no effect whatsoever on simulated behavior.
+	SnapshotAtCycle uint64 `json:"-"`
+	// SnapshotAtPrefix captures the snapshot at the prefix boundary
+	// instead: the first cycle at which the program's last leading barrier
+	// unit has consumed its whole trace and is the only live epoch, but has
+	// not yet committed — so no speculative unit has started and nothing
+	// configuration-divergent has happened. Snapshots taken there are
+	// usually Forkable: resumable under any configuration that agrees on
+	// the prefix-invariant machine parameters (see PrefixDigest).
+	SnapshotAtPrefix bool `json:"-"`
+	// SnapshotSink receives the at-most-one snapshot a run captures. nil
+	// disables snapshotting entirely (the per-cycle cost is one pointer
+	// test).
+	SnapshotSink func(*Snapshot) `json:"-"`
+
 	// MaxCycles is a hard cycle budget; exceeding it ends the run with a
 	// RunError of kind "max-cycles". 0 means unbounded.
 	MaxCycles uint64

@@ -1,0 +1,420 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"subthreads/internal/isa"
+	"subthreads/internal/mem"
+	"subthreads/internal/tls"
+	"subthreads/internal/trace"
+)
+
+// The snapshot contract is byte identity: a run resumed from a checkpoint
+// must produce exactly the Result of the uninterrupted run — every cycle
+// count, every protocol counter, every profiled pair. These tests pin that
+// across the interesting protocol paths (violations, overflow policies,
+// latch deadlocks, predictors, fault injection, the I-cache model) and pin
+// the fork path against a native run of every divergent configuration.
+
+// captureAt runs cfg with a snapshot captured at the given cycle and returns
+// the snapshot after an encode/decode round trip, so every test also
+// exercises the binary frame.
+func captureAt(t *testing.T, cfg Config, prog *Program, cycle uint64) *Snapshot {
+	t.Helper()
+	var snap *Snapshot
+	cfg.SnapshotAtCycle = cycle
+	cfg.SnapshotSink = func(s *Snapshot) { snap = s }
+	if _, err := RunE(cfg, prog); err != nil {
+		t.Fatalf("capture run failed: %v", err)
+	}
+	if snap == nil {
+		t.Fatalf("no snapshot captured at cycle %d", cycle)
+	}
+	decoded, err := DecodeSnapshot(snap.Encode())
+	if err != nil {
+		t.Fatalf("snapshot round trip: %v", err)
+	}
+	return decoded
+}
+
+// mustEqual fails unless two results are identical in every field.
+func mustEqual(t *testing.T, name string, uninterrupted, resumed *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(uninterrupted, resumed) {
+		t.Errorf("%s: resumed result differs from uninterrupted run\nuninterrupted: %+v\nresumed:       %+v",
+			name, uninterrupted, resumed)
+	}
+}
+
+// violationProgram has real cross-epoch dependences, so post-snapshot
+// execution exercises squashes, rewinds, and profiling.
+func violationProgram() *Program {
+	a, b := mem.Addr(0x11000), mem.Addr(0x12000)
+	var units []Unit
+	for i := 0; i < 6; i++ {
+		tb := trace.NewBuilder()
+		tb.ALU(3000)
+		tb.Load(isa.PC(2), a)
+		tb.ALU(2000)
+		tb.Store(isa.PC(1), a)
+		tb.ALU(1500)
+		tb.Load(isa.PC(4), b)
+		tb.Store(isa.PC(3), b)
+		tb.ALU(1500)
+		units = append(units, Unit{Trace: tb.Finish()})
+	}
+	return &Program{Units: units}
+}
+
+func TestSnapshotRestoreByteIdentity(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  func() Config
+		prog func() *Program
+	}{
+		{"violations", testConfig, violationProgram},
+		{"all-or-nothing", func() Config {
+			cfg := testConfig()
+			cfg.SubthreadSpacing = 0
+			cfg.TLS.SubthreadsPerEpoch = 1
+			return cfg
+		}, violationProgram},
+		{"overflow-squash", func() Config {
+			cfg := testConfig()
+			cfg.TLS.OverflowPolicy = tls.OverflowSquash
+			cfg.TLS.L2Sets = 1
+			cfg.TLS.L2Ways = 2
+			cfg.TLS.VictimEntries = 2
+			return cfg
+		}, func() *Program {
+			b := trace.NewBuilder()
+			for i := 0; i < 64; i++ {
+				b.Store(1, mem.Addr(0x20000+i*mem.LineSize))
+				b.ALU(50)
+			}
+			return &Program{Units: []Unit{{Trace: aluTrace(40000)}, {Trace: b.Finish()}}}
+		}},
+		{"overflow-stall", func() Config {
+			cfg := testConfig()
+			cfg.TLS.L2Sets = 1
+			cfg.TLS.L2Ways = 2
+			cfg.TLS.VictimEntries = 2
+			return cfg
+		}, func() *Program {
+			b := trace.NewBuilder()
+			for i := 0; i < 64; i++ {
+				b.Store(1, mem.Addr(0x30000+i*mem.LineSize))
+				b.ALU(50)
+			}
+			return &Program{Units: []Unit{{Trace: aluTrace(40000)}, {Trace: b.Finish()}}}
+		}},
+		{"latch-deadlock", func() Config {
+			cfg := testConfig()
+			cfg.LatchDeadlockCycles = 500
+			return cfg
+		}, func() *Program {
+			la, lb := mem.Addr(0x9000), mem.Addr(0x9100)
+			mk := func(first, second mem.Addr) *trace.Trace {
+				b := trace.NewBuilder()
+				b.ALU(100)
+				b.LatchAcquire(1, first)
+				b.ALU(400)
+				b.LatchAcquire(2, second)
+				b.ALU(400)
+				b.LatchRelease(3, second)
+				b.LatchRelease(4, first)
+				b.ALU(100)
+				return b.Finish()
+			}
+			return &Program{Units: []Unit{{Trace: mk(lb, la)}, {Trace: mk(la, lb)}}}
+		}},
+		{"predictor", func() Config {
+			cfg := testConfig()
+			cfg.UsePredictor = true
+			cfg.SubthreadSpacing = 0
+			cfg.TLS.SubthreadsPerEpoch = 1
+			return cfg
+		}, violationProgram},
+		{"spawn-predictor", func() Config {
+			cfg := testConfig()
+			cfg.Spawn = SpawnPredictor
+			cfg.TLS.SubthreadsPerEpoch = 2
+			return cfg
+		}, violationProgram},
+		{"icache-mlp", func() Config {
+			cfg := testConfig()
+			cfg.Mem.ModelICache = true
+			cfg.Mem.L1ISets = 8
+			cfg.Mem.L1IWays = 4
+			cfg.NonBlockingLoads = true
+			return cfg
+		}, func() *Program {
+			b := trace.NewBuilder()
+			for i := 0; i < 300; i++ {
+				b.Branch(isa.PC(i%40+1), true)
+				b.Load(1, mem.Addr(0x40000+i*mem.LineSize))
+				b.ALU(60)
+			}
+			return &Program{Units: []Unit{{Trace: b.Finish()}, {Trace: aluTrace(9000)}}}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := RunE(tc.cfg(), tc.prog())
+			if err != nil {
+				t.Fatalf("uninterrupted run: %v", err)
+			}
+			for _, frac := range []uint64{4, 2} {
+				cycle := want.Cycles / frac
+				if cycle == 0 {
+					continue
+				}
+				snap := captureAt(t, tc.cfg(), tc.prog(), cycle)
+				got, err := ResumeE(tc.cfg(), tc.prog(), snap)
+				if err != nil {
+					t.Fatalf("resume at cycle %d: %v", cycle, err)
+				}
+				mustEqual(t, tc.name, want, got)
+			}
+		})
+	}
+}
+
+func TestSnapshotRestoreWithInjection(t *testing.T) {
+	faults := func() []Fault {
+		return []Fault{
+			{Cycle: 500, Kind: FaultSquash, CPU: 1, Ctx: 3},
+			{Cycle: 900, Kind: FaultOverflow, CPU: 2},
+			{Cycle: 1300, Kind: FaultSquash, CPU: 0, Ctx: 1},
+			{Cycle: 4200, Kind: FaultSquash, CPU: 2, Ctx: 0},
+		}
+	}
+	mkCfg := func() Config {
+		cfg := testConfig()
+		cfg.Inject = &stubInjector{faults: faults(), latchEvery: 64, latchDelay: 4}
+		return cfg
+	}
+	prog := violationProgram()
+	want, err := RunE(mkCfg(), prog)
+	if err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+	if want.InjectedFaults == 0 {
+		t.Fatal("scenario broken: no faults delivered")
+	}
+	// Capture mid-schedule so the resume must fast-forward a fresh injector
+	// past the already-delivered faults.
+	snap := captureAt(t, mkCfg(), prog, 1000)
+	got, err := ResumeE(mkCfg(), prog, snap)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	mustEqual(t, "injection", want, got)
+}
+
+// forkProgram is a sweep-shaped program: a leading barrier prefix that warms
+// the caches and produces values, then speculative iteration units with real
+// dependences on the prefix's data and on each other.
+func forkProgram() *Program {
+	warm := trace.NewBuilder()
+	for i := 0; i < 200; i++ {
+		warm.Store(1, mem.Addr(0x50000+i*mem.LineSize))
+		warm.ALU(40)
+	}
+	warm.ALU(5000)
+	units := []Unit{{Trace: warm.Finish(), Barrier: true}}
+	a := mem.Addr(0x50000)
+	for i := 0; i < 5; i++ {
+		b := trace.NewBuilder()
+		b.Load(2, a) // reads the prefix's data
+		b.ALU(4000)
+		b.Load(4, mem.Addr(0x60000))
+		b.ALU(2000)
+		b.Store(3, mem.Addr(0x60000))
+		b.ALU(2000)
+		units = append(units, Unit{Trace: b.Finish()})
+	}
+	return &Program{Units: units}
+}
+
+// capturePrefix captures the prefix-boundary snapshot under cfg.
+func capturePrefix(t *testing.T, cfg Config, prog *Program) *Snapshot {
+	t.Helper()
+	var snap *Snapshot
+	cfg.SnapshotAtPrefix = true
+	cfg.SnapshotSink = func(s *Snapshot) { snap = s }
+	if _, err := RunE(cfg, prog); err != nil {
+		t.Fatalf("prefix capture run failed: %v", err)
+	}
+	if snap == nil {
+		t.Fatal("no prefix snapshot captured")
+	}
+	decoded, err := DecodeSnapshot(snap.Encode())
+	if err != nil {
+		t.Fatalf("snapshot round trip: %v", err)
+	}
+	return decoded
+}
+
+func TestSnapshotForkByteIdentity(t *testing.T) {
+	prog := forkProgram()
+	base := testConfig()
+	snap := capturePrefix(t, base, prog)
+	if !snap.Forkable {
+		t.Fatal("prefix snapshot not forkable")
+	}
+	if snap.Cycle == 0 {
+		t.Fatal("prefix snapshot captured at cycle 0")
+	}
+
+	variants := map[string]func(Config) Config{
+		"same-config":     func(c Config) Config { return c },
+		"spacing-1000":    func(c Config) Config { c.SubthreadSpacing = 1000; return c },
+		"all-or-nothing":  func(c Config) Config { c.SubthreadSpacing = 0; c.TLS.SubthreadsPerEpoch = 1; return c },
+		"adaptive":        func(c Config) Config { c.Spawn = SpawnAdaptive; c.TLS.SubthreadsPerEpoch = 4; return c },
+		"spawn-predictor": func(c Config) Config { c.Spawn = SpawnPredictor; c.TLS.SubthreadsPerEpoch = 2; return c },
+		"use-predictor":   func(c Config) Config { c.UsePredictor = true; return c },
+		"overflow-squash": func(c Config) Config {
+			c.TLS.OverflowPolicy = tls.OverflowSquash
+			c.TLS.VictimEntries = 2
+			return c
+		},
+		"no-start-table":    func(c Config) Config { c.TLS.StartTable = false; return c },
+		"violation-penalty": func(c Config) Config { c.ViolationPenalty = 500; return c },
+		"reg-backup":        func(c Config) Config { c.RegBackupPenalty = 200; return c },
+		"l1-tracking":       func(c Config) Config { c.L1SubthreadTracking = true; return c },
+		"speculation-off":   func(c Config) Config { c.TLS.SpeculationOff = true; return c },
+	}
+	for name, vary := range variants {
+		t.Run(name, func(t *testing.T) {
+			cfg := vary(testConfig())
+			want, err := RunE(cfg, forkProgram())
+			if err != nil {
+				t.Fatalf("uninterrupted run: %v", err)
+			}
+			got, err := ResumeE(cfg, forkProgram(), snap)
+			if err != nil {
+				t.Fatalf("fork: %v", err)
+			}
+			mustEqual(t, name, want, got)
+		})
+	}
+}
+
+func TestSnapshotForkRefusals(t *testing.T) {
+	prog := forkProgram()
+	base := testConfig()
+	snap := capturePrefix(t, base, prog)
+
+	t.Run("prefix-divergent-config", func(t *testing.T) {
+		cfg := testConfig()
+		cfg.CommitPenalty++ // prefix-invariant parameter: both digests differ
+		if _, err := ResumeE(cfg, prog, snap); err == nil {
+			t.Error("fork across a prefix-divergent config did not error")
+		}
+	})
+	t.Run("injected-fork", func(t *testing.T) {
+		cfg := testConfig()
+		cfg.SubthreadSpacing = 1000 // force the fork path, not full restore
+		cfg.Inject = &stubInjector{}
+		if _, err := ResumeE(cfg, prog, snap); err == nil {
+			t.Error("fork into a fault-injected run did not error")
+		}
+	})
+	t.Run("oracle", func(t *testing.T) {
+		cfg := testConfig()
+		cfg.Oracle = nopOracle{}
+		if _, err := ResumeE(cfg, prog, snap); err == nil {
+			t.Error("resume with an oracle did not error")
+		}
+	})
+	t.Run("wrong-program", func(t *testing.T) {
+		other := violationProgram()
+		if _, err := ResumeE(testConfig(), other, snap); err == nil {
+			t.Error("resume under a different program did not error")
+		}
+	})
+	t.Run("unforkable-snapshot", func(t *testing.T) {
+		// A mid-run snapshot with live speculation must refuse to fork.
+		vp := violationProgram()
+		mid := captureAt(t, testConfig(), vp, 4000)
+		if mid.Forkable {
+			t.Fatal("mid-speculation snapshot claims to be forkable")
+		}
+		cfg := testConfig()
+		cfg.SubthreadSpacing = 1000
+		if _, err := ResumeE(cfg, vp, mid); err == nil {
+			t.Error("fork from an unforkable snapshot did not error")
+		}
+	})
+}
+
+type nopOracle struct{}
+
+func (nopOracle) OnStore(uint64, int, mem.Addr, uint64) {}
+func (nopOracle) OnSquash(uint64, int)                  {}
+func (nopOracle) OnCommit(uint64)                       {}
+
+func TestSnapshotCorruptionIsAnErrorNeverAPanic(t *testing.T) {
+	prog := forkProgram()
+	snap := capturePrefix(t, testConfig(), prog)
+	enc := snap.Encode()
+
+	// Every truncation of the frame must decode to an error (or, for
+	// truncations that only cut the payload, fail at resume) — never panic
+	// and never silently succeed.
+	step := len(enc)/97 + 1
+	for n := 0; n < len(enc); n += step {
+		s, err := DecodeSnapshot(enc[:n])
+		if err != nil {
+			continue
+		}
+		if _, err := ResumeE(testConfig(), prog, s); err == nil {
+			t.Fatalf("truncation to %d/%d bytes resumed successfully", n, len(enc))
+		}
+	}
+
+	// Header corruption: wrong magic, wrong version.
+	bad := append([]byte(nil), enc...)
+	bad[0] ^= 0xff
+	if _, err := DecodeSnapshot(bad); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("corrupt magic: err = %v", err)
+	}
+	bad = append([]byte(nil), enc...)
+	bad[len(snapMagic)] = 99
+	if _, err := DecodeSnapshot(bad); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("corrupt version: err = %v", err)
+	}
+}
+
+func TestSnapshotNotCapturedPastRunEnd(t *testing.T) {
+	cfg := testConfig()
+	prog := &Program{Units: []Unit{{Trace: aluTrace(4000)}}}
+	called := false
+	cfg.SnapshotAtCycle = 1 << 40
+	cfg.SnapshotSink = func(*Snapshot) { called = true }
+	if _, err := RunE(cfg, prog); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("sink called for a capture cycle beyond the run's end")
+	}
+}
+
+func TestResumedRunNeverRecaptures(t *testing.T) {
+	prog := violationProgram()
+	cfg := testConfig()
+	snap := captureAt(t, cfg, prog, 2000)
+	resumeCfg := testConfig()
+	captures := 0
+	resumeCfg.SnapshotAtCycle = 4000 // would fire post-resume if not suppressed
+	resumeCfg.SnapshotSink = func(*Snapshot) { captures++ }
+	if _, err := ResumeE(resumeCfg, prog, snap); err != nil {
+		t.Fatal(err)
+	}
+	if captures != 0 {
+		t.Errorf("resumed run captured %d snapshots", captures)
+	}
+}

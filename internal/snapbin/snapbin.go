@@ -1,0 +1,225 @@
+// Package snapbin is the leaf binary codec the whole-machine snapshot layer
+// is built from: a Writer that appends fixed-width and varint fields to one
+// growing buffer, and a Reader that consumes them with a sticky error, so
+// state codecs scattered across cache/cpu/predict/profile/tls/sim can each
+// serialize their own unexported state without import cycles and without
+// per-field error plumbing. The framing idiom follows workload's Built codec
+// (magic + version handled by the caller, uvarints for counts, length caps on
+// anything attacker- or corruption-sized).
+package snapbin
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Writer accumulates an encoded frame. The zero value is ready to use;
+// NewWriter pre-sizes the buffer.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a writer with capacity pre-allocated.
+func NewWriter(capacity int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded frame.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len reports the encoded size so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Raw appends bytes verbatim (magic strings, pre-encoded sub-frames).
+func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// Bool appends a bool as one byte.
+func (w *Writer) Bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	w.buf = append(w.buf, b)
+}
+
+// U64 appends a fixed-width little-endian uint64 (float bits, digests).
+func (w *Writer) U64(v uint64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+
+// Uvarint appends an unsigned varint.
+func (w *Writer) Uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+// Varint appends a zig-zag signed varint.
+func (w *Writer) Varint(v int64) {
+	w.buf = binary.AppendVarint(w.buf, v)
+}
+
+// Int appends a signed int as a varint (slot indices, -1 sentinels).
+func (w *Writer) Int(v int) { w.Varint(int64(v)) }
+
+// Blob appends a length-prefixed byte string.
+func (w *Writer) Blob(b []byte) {
+	w.Uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Reader consumes a frame produced by Writer. The first decode failure
+// latches in err; every later read returns a zero value, so codecs read
+// straight through and check Err once.
+type Reader struct {
+	data []byte
+	err  error
+}
+
+// NewReader wraps data for decoding.
+func NewReader(data []byte) *Reader { return &Reader{data: data} }
+
+// Err returns the first decode failure, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Fail latches an error (semantic validation by codecs).
+func (r *Reader) Fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// Failf latches a formatted error.
+func (r *Reader) Failf(format string, args ...any) {
+	r.Fail(fmt.Errorf(format, args...))
+}
+
+// Remaining reports how many bytes are left.
+func (r *Reader) Remaining() int { return len(r.data) }
+
+// Raw consumes n bytes verbatim; nil on error or truncation.
+func (r *Reader) Raw(n int, field string) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.data) < n {
+		r.Failf("truncated %s (want %d bytes, have %d)", field, n, len(r.data))
+		return nil
+	}
+	b := r.data[:n]
+	r.data = r.data[n:]
+	return b
+}
+
+// U8 consumes one byte.
+func (r *Reader) U8(field string) uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.data) == 0 {
+		r.Failf("truncated %s", field)
+		return 0
+	}
+	v := r.data[0]
+	r.data = r.data[1:]
+	return v
+}
+
+// Bool consumes a one-byte bool; any value other than 0 or 1 is an error.
+func (r *Reader) Bool(field string) bool {
+	v := r.U8(field)
+	if v > 1 {
+		r.Failf("bad bool %d for %s", v, field)
+		return false
+	}
+	return v == 1
+}
+
+// U64 consumes a fixed-width little-endian uint64.
+func (r *Reader) U64(field string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.data) < 8 {
+		r.Failf("truncated %s", field)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.data)
+	r.data = r.data[8:]
+	return v
+}
+
+// Uvarint consumes an unsigned varint.
+func (r *Reader) Uvarint(field string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data)
+	if n <= 0 {
+		r.Failf("bad varint for %s", field)
+		return 0
+	}
+	r.data = r.data[n:]
+	return v
+}
+
+// Varint consumes a zig-zag signed varint.
+func (r *Reader) Varint(field string) int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data)
+	if n <= 0 {
+		r.Failf("bad varint for %s", field)
+		return 0
+	}
+	r.data = r.data[n:]
+	return v
+}
+
+// Int consumes a signed int encoded by Writer.Int.
+func (r *Reader) Int(field string) int { return int(r.Varint(field)) }
+
+// Count consumes an element count and rejects values above max, keeping a
+// corrupted-but-well-framed length from forcing a giant allocation.
+func (r *Reader) Count(field string, max int) int {
+	n := r.Uvarint(field)
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(max) {
+		r.Failf("implausible %s count %d (cap %d)", field, n, max)
+		return 0
+	}
+	return int(n)
+}
+
+// Blob consumes a length-prefixed byte string of at most max bytes. The
+// returned slice aliases the frame.
+func (r *Reader) Blob(field string, max int) []byte {
+	n := r.Count(field+" length", max)
+	return r.Raw(n, field)
+}
+
+// String consumes a length-prefixed string of at most max bytes.
+func (r *Reader) String(field string, max int) string {
+	return string(r.Blob(field, max))
+}
+
+// Done verifies the frame was fully consumed.
+func (r *Reader) Done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.data) != 0 {
+		return fmt.Errorf("%d trailing bytes after frame", len(r.data))
+	}
+	return nil
+}

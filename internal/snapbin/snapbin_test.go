@@ -1,0 +1,105 @@
+package snapbin
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	w := NewWriter(64)
+	w.U8(7)
+	w.Bool(true)
+	w.Bool(false)
+	w.U64(0xdeadbeefcafef00d)
+	w.Uvarint(300)
+	w.Varint(-42)
+	w.Int(-1)
+	w.Blob([]byte{1, 2, 3})
+	w.String("hello")
+	w.Raw([]byte("MG"))
+
+	r := NewReader(w.Bytes())
+	if got := r.U8("u8"); got != 7 {
+		t.Errorf("U8 = %d", got)
+	}
+	if !r.Bool("b1") || r.Bool("b2") {
+		t.Errorf("bools wrong")
+	}
+	if got := r.U64("u64"); got != 0xdeadbeefcafef00d {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := r.Uvarint("uv"); got != 300 {
+		t.Errorf("Uvarint = %d", got)
+	}
+	if got := r.Varint("v"); got != -42 {
+		t.Errorf("Varint = %d", got)
+	}
+	if got := r.Int("i"); got != -1 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := r.Blob("blob", 16); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Blob = %v", got)
+	}
+	if got := r.String("str", 16); got != "hello" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.Raw(2, "raw"); !bytes.Equal(got, []byte("MG")) {
+		t.Errorf("Raw = %q", got)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	r := NewReader([]byte{0x80}) // incomplete varint
+	_ = r.Uvarint("first")
+	if r.Err() == nil {
+		t.Fatal("want error on bad varint")
+	}
+	first := r.Err()
+	// Later reads return zero values and keep the first error.
+	if got := r.U64("later"); got != 0 {
+		t.Errorf("post-error U64 = %d", got)
+	}
+	if r.Err() != first {
+		t.Errorf("error not sticky")
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	w := NewWriter(8)
+	w.Blob([]byte("abcdef"))
+	enc := w.Bytes()
+	r := NewReader(enc[:3])
+	_ = r.Blob("blob", 64)
+	if r.Err() == nil {
+		t.Fatal("want truncation error")
+	}
+}
+
+func TestCountCap(t *testing.T) {
+	w := NewWriter(8)
+	w.Uvarint(1 << 30)
+	r := NewReader(w.Bytes())
+	_ = r.Count("items", 1024)
+	if r.Err() == nil {
+		t.Fatal("want cap error")
+	}
+}
+
+func TestBadBool(t *testing.T) {
+	r := NewReader([]byte{2})
+	_ = r.Bool("flag")
+	if r.Err() == nil {
+		t.Fatal("want bad-bool error")
+	}
+}
+
+func TestTrailing(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	_ = r.U8("one")
+	if err := r.Done(); err == nil {
+		t.Fatal("want trailing-bytes error")
+	}
+}

@@ -1,0 +1,293 @@
+package tls
+
+import (
+	"sort"
+
+	"subthreads/internal/cache"
+	"subthreads/internal/mem"
+	"subthreads/internal/snapbin"
+)
+
+// Snapshot codec for the TLS engine: the live epoch list (with start tables,
+// per-context line lists, and held latches), the L2 directory, the latch
+// table, the L2/victim tag stores, and the protocol statistics. Everything
+// map-shaped serializes in sorted key order so the encoding is deterministic.
+//
+// Epoch pointers (latch holders; the simulator's per-core epoch and
+// homefree-token references) serialize as indexes into the commit order,
+// which restore reconstructs in the same order. The free-list pools
+// (metaPool, smPool) are deliberately not serialized: recycled objects are
+// zeroed on reuse, so an empty pool is behaviorally identical.
+
+const maxSnapLines = 1 << 24
+
+// AppendState serializes the engine's complete architectural state.
+func (g *Engine) AppendState(w *snapbin.Writer) {
+	w.Uvarint(g.PrimaryViolations)
+	w.Uvarint(g.SecondaryViolations)
+	w.Uvarint(g.OverflowSquashes)
+	w.Uvarint(g.OverflowStalls)
+	w.Uvarint(g.ExposedLoads)
+	w.Uvarint(g.SpecStores)
+	w.Uvarint(g.SubthreadStarts)
+	w.Uvarint(g.Commits)
+	w.Uvarint(g.nextID)
+
+	// Live epochs, oldest first.
+	w.Uvarint(uint64(len(g.order)))
+	for _, e := range g.order {
+		w.Uvarint(e.ID)
+		w.Int(e.Slot)
+		w.Int(e.CurCtx)
+		w.Bool(e.Completed)
+		w.Uvarint(e.Violations)
+		appendSMMap(w, e.startTable)
+		for ctx := 0; ctx < MaxSubthreads; ctx++ {
+			lines := e.ctxLines[ctx]
+			w.Uvarint(uint64(len(lines)))
+			for _, line := range lines {
+				w.Uvarint(uint64(line))
+			}
+		}
+		w.Uvarint(uint64(len(e.latches)))
+		for _, hl := range e.latches {
+			w.Uvarint(uint64(hl.addr))
+			w.Int(hl.ctx)
+		}
+	}
+
+	// Latch table: only held latches carry state (a free latchState is
+	// behaviorally identical to an absent entry).
+	type heldEntry struct {
+		addr mem.Addr
+		ls   *latchState
+	}
+	var held []heldEntry
+	for addr, ls := range g.latches {
+		if ls.holder != nil {
+			held = append(held, heldEntry{addr, ls})
+		}
+	}
+	sort.Slice(held, func(i, j int) bool { return held[i].addr < held[j].addr })
+	w.Uvarint(uint64(len(held)))
+	for _, h := range held {
+		w.Uvarint(uint64(h.addr))
+		w.Int(g.orderIndex(h.ls.holder))
+		w.Int(h.ls.holderCtx)
+		w.Int(h.ls.depth)
+	}
+
+	// L2 directory, ascending line order (forEach contract).
+	lineCount := uint64(0)
+	g.lines.forEach(func(mem.Addr, *lineMeta) { lineCount++ })
+	w.Uvarint(lineCount)
+	g.lines.forEach(func(line mem.Addr, lm *lineMeta) {
+		w.Uvarint(uint64(line))
+		appendLoadMap(w, lm.load)
+		appendSMMap(w, lm.store)
+	})
+
+	g.L2.AppendState(w)
+	g.Victim.AppendState(w)
+}
+
+// RestoreState rebuilds the engine's architectural state from r into a
+// freshly-constructed engine. The configuration is NOT restored: it belongs
+// to the restore target, which is what lets a forkable snapshot restore under
+// a different sub-thread configuration.
+func (g *Engine) RestoreState(r *snapbin.Reader) {
+	g.PrimaryViolations = r.Uvarint("tls primary violations")
+	g.SecondaryViolations = r.Uvarint("tls secondary violations")
+	g.OverflowSquashes = r.Uvarint("tls overflow squashes")
+	g.OverflowStalls = r.Uvarint("tls overflow stalls")
+	g.ExposedLoads = r.Uvarint("tls exposed loads")
+	g.SpecStores = r.Uvarint("tls spec stores")
+	g.SubthreadStarts = r.Uvarint("tls subthread starts")
+	g.Commits = r.Uvarint("tls commits")
+	g.nextID = r.Uvarint("tls next id")
+
+	// Epochs are reconstructed directly rather than through StartEpoch:
+	// the restored IDs predate nextID, which StartEpoch correctly rejects
+	// for live registration.
+	nEpochs := r.Count("tls epochs", g.cfg.CPUs)
+	g.order = g.order[:0]
+	for i := 0; i < nEpochs && r.Err() == nil; i++ {
+		e := &Epoch{
+			ID:         r.Uvarint("epoch id"),
+			Slot:       r.Int("epoch slot"),
+			CurCtx:     r.Int("epoch ctx"),
+			Completed:  r.Bool("epoch completed"),
+			Violations: r.Uvarint("epoch violations"),
+			startTable: make(map[uint64]*[MaxSubthreads]uint8),
+		}
+		if r.Err() == nil && (e.Slot < 0 || e.Slot >= g.cfg.CPUs || e.CurCtx < 0 || e.CurCtx >= MaxSubthreads) {
+			r.Failf("epoch %d: slot %d / ctx %d out of range", e.ID, e.Slot, e.CurCtx)
+			return
+		}
+		restoreSMMap(r, e.startTable, "start table")
+		for ctx := 0; ctx < MaxSubthreads; ctx++ {
+			n := r.Count("epoch ctx lines", maxSnapLines)
+			for j := 0; j < n && r.Err() == nil; j++ {
+				e.ctxLines[ctx] = append(e.ctxLines[ctx], mem.Addr(r.Uvarint("epoch line")))
+			}
+		}
+		nLatch := r.Count("epoch latches", maxSnapLines)
+		for j := 0; j < nLatch && r.Err() == nil; j++ {
+			e.latches = append(e.latches, heldLatch{
+				addr: mem.Addr(r.Uvarint("held latch addr")),
+				ctx:  r.Int("held latch ctx"),
+			})
+		}
+		g.order = append(g.order, e)
+	}
+
+	nHeld := r.Count("tls latches", maxSnapLines)
+	for i := 0; i < nHeld && r.Err() == nil; i++ {
+		addr := mem.Addr(r.Uvarint("latch addr"))
+		holder := r.Int("latch holder")
+		ls := &latchState{
+			holderCtx: r.Int("latch holder ctx"),
+			depth:     r.Int("latch depth"),
+		}
+		if r.Err() != nil {
+			return
+		}
+		if holder < 0 || holder >= len(g.order) {
+			r.Failf("latch %v: holder index %d out of range", addr, holder)
+			return
+		}
+		ls.holder = g.order[holder]
+		g.latches[addr] = ls
+	}
+
+	nLines := r.Count("tls lines", maxSnapLines)
+	for i := 0; i < nLines && r.Err() == nil; i++ {
+		line := mem.Addr(r.Uvarint("tls line"))
+		lm := &lineMeta{
+			load:  make(map[uint64]uint32),
+			store: make(map[uint64]*[MaxSubthreads]uint8),
+		}
+		restoreLoadMap(r, lm.load)
+		restoreSMMap(r, lm.store, "store masks")
+		if r.Err() == nil {
+			g.lines.set(line, lm)
+		}
+	}
+
+	g.L2.RestoreState(r)
+	g.Victim.RestoreState(r)
+}
+
+// appendSMMap serializes a map of per-context byte arrays in ascending key
+// order (start tables and SM masks share the shape).
+func appendSMMap(w *snapbin.Writer, m map[uint64]*[MaxSubthreads]uint8) {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	w.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		w.Uvarint(k)
+		w.Raw(m[k][:])
+	}
+}
+
+func restoreSMMap(r *snapbin.Reader, m map[uint64]*[MaxSubthreads]uint8, field string) {
+	n := r.Count(field, maxSnapLines)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		k := r.Uvarint(field + " key")
+		raw := r.Raw(MaxSubthreads, field+" bytes")
+		if r.Err() == nil {
+			arr := new([MaxSubthreads]uint8)
+			copy(arr[:], raw)
+			m[k] = arr
+		}
+	}
+}
+
+// appendLoadMap serializes SL bitmasks in ascending epoch-ID order.
+func appendLoadMap(w *snapbin.Writer, m map[uint64]uint32) {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	w.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		w.Uvarint(k)
+		w.Uvarint(uint64(m[k]))
+	}
+}
+
+func restoreLoadMap(r *snapbin.Reader, m map[uint64]uint32) {
+	n := r.Count("load bits", maxSnapLines)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		k := r.Uvarint("load bits key")
+		v := uint32(r.Uvarint("load bits value"))
+		if r.Err() == nil {
+			m[k] = v
+		}
+	}
+}
+
+// orderIndex maps a live epoch to its commit-order index, or -1.
+func (g *Engine) orderIndex(e *Epoch) int {
+	for i, live := range g.order {
+		if live == e {
+			return i
+		}
+	}
+	return -1
+}
+
+// OrderIndex maps a live epoch to its commit-order index (-1 for nil or a
+// retired epoch) — the serialized form of an epoch pointer.
+func (g *Engine) OrderIndex(e *Epoch) int {
+	if e == nil {
+		return -1
+	}
+	return g.orderIndex(e)
+}
+
+// EpochAt returns the live epoch at a commit-order index, or nil when the
+// index is -1 or out of range.
+func (g *Engine) EpochAt(i int) *Epoch {
+	if i < 0 || i >= len(g.order) {
+		return nil
+	}
+	return g.order[i]
+}
+
+// Forkable reports whether the engine carries no speculative or epoch-local
+// state that a different sub-thread configuration could have produced
+// differently: an empty L2 directory, an empty victim cache, only committed
+// versions in the L2, every latch free, and every live epoch still in its
+// first context with nothing held and nothing recorded. A snapshot taken in
+// this state restores correctly under any configuration that agrees on the
+// prefix-invariant machine parameters.
+func (g *Engine) Forkable() bool {
+	if g.auditErr != nil || g.lines.live() != 0 || g.Victim.Len() != 0 {
+		return false
+	}
+	committedOnly := true
+	g.L2.ForEach(func(e cache.Entry) {
+		if e.Ver != cache.VerCommitted {
+			committedOnly = false
+		}
+	})
+	if !committedOnly {
+		return false
+	}
+	for _, ls := range g.latches {
+		if ls.holder != nil {
+			return false
+		}
+	}
+	for _, e := range g.order {
+		if e.CurCtx != 0 || len(e.latches) != 0 || len(e.startTable) != 0 {
+			return false
+		}
+	}
+	return true
+}

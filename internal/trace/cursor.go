@@ -14,6 +14,20 @@ type Pos struct {
 // Done reports how many dynamic instructions precede the position.
 func (p Pos) Done() uint64 { return p.done }
 
+// Index reports the event index of the position.
+func (p Pos) Index() int { return p.idx }
+
+// Offset reports the instructions already consumed inside the event at Index.
+func (p Pos) Offset() uint32 { return p.off }
+
+// MakePos reconstructs a position from its components — the inverse of
+// Index/Offset/Done, used by the whole-machine snapshot codec to restore
+// cursor and checkpoint state. The caller is responsible for the components
+// describing a real position in the trace being walked.
+func MakePos(idx int, off uint32, done uint64) Pos {
+	return Pos{idx: idx, off: off, done: done}
+}
+
 // Cursor walks a Trace, supporting checkpoint (Pos) and rewind (Seek).
 type Cursor struct {
 	t   *Trace

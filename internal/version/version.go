@@ -4,7 +4,10 @@
 // produced a result (GET /healthz).
 package version
 
-import "runtime/debug"
+import (
+	"runtime"
+	"runtime/debug"
+)
 
 // Info is the build identity of the running binary.
 type Info struct {
@@ -69,4 +72,26 @@ func (i Info) String() string {
 		s += " " + i.Go
 	}
 	return s
+}
+
+// HostInfo is the execution environment stamped into every BENCH_*.json
+// artifact, so a regenerated benchmark records what machine and toolchain
+// produced its numbers.
+type HostInfo struct {
+	GoVersion  string `json:"go_version"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	CPUs       int    `json:"cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// Host captures the current process's execution environment.
+func Host() HostInfo {
+	return HostInfo{
+		GoVersion:  runtime.Version(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
 }

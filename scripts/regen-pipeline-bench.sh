@@ -1,8 +1,11 @@
 #!/bin/sh
 # Regenerates BENCH_pipeline.json, the experiment-pipeline benchmark
 # artifact: suite wall-clock at -j 1 vs -j N (N defaults to the host's
-# cores), byte-identity of the two outputs, build-cache effectiveness, and
-# the simulator's steady-state allocations per epoch.
+# cores), byte-identity of the two outputs, the sims_run / sims_forked /
+# sims_memoized split (how many simulation tasks ran in full vs forked from
+# a shared prefix checkpoint vs served from the exact-run memo — the
+# prefix-sharing win), build-cache effectiveness, and the simulator's
+# steady-state allocations per epoch.
 #
 # Extra flags are passed through, e.g.:
 #   scripts/regen-pipeline-bench.sh -j 4

@@ -236,6 +236,44 @@ grep -q '"msg":"job disk-warm hit"' "$TMP/tlsd2.jsonl" || {
     cat "$TMP/tlsd2.jsonl" >&2
     exit 1
 }
+
+# Checkpoint leg: the cold run above published a machine checkpoint into the
+# same cache dir; a sweep variant of the spec (divergent sub-thread spacing)
+# submitted to the restarted daemon must fork its simulation from that
+# on-disk checkpoint — byte-identical to tlssim -json for the variant, with
+# the fork visible in both metric forms.
+SWEEPSPEC='{"benchmark":"NEW ORDER","experiment":"BASELINE","txns":3,"warmup":1,"spacing":2500}'
+curl -fsS -X POST "http://$ADDR/v1/jobs?wait=1" -d "$SWEEPSPEC" >"$TMP/sweep.json"
+"$TMP/tlssim" -benchmark "NEW ORDER" -experiment "BASELINE" -txns 3 -warmup 1 \
+    -spacing 2500 -json >"$TMP/cli-sweep.json"
+if ! cmp -s "$TMP/sweep.json" "$TMP/cli-sweep.json"; then
+    echo "tlsd-smoke: snapshot-forked body differs from tlssim -json" >&2
+    diff "$TMP/cli-sweep.json" "$TMP/sweep.json" >&2 || true
+    exit 1
+fi
+curl -fsS "http://$ADDR/metrics" | grep -q '"jobs_forked": 1' || {
+    echo "tlsd-smoke: /metrics does not show the sweep job forked from snapshot" >&2
+    curl -fsS "http://$ADDR/metrics" >&2
+    exit 1
+}
+curl -fsS -H 'Accept: text/plain' "http://$ADDR/metrics" >"$TMP/snap-metrics.prom"
+for NEEDLE in '^tlsd_snapshot_hit_total 1$' '^tlsd_jobs_forked_total 1$'; do
+    grep -q "$NEEDLE" "$TMP/snap-metrics.prom" || {
+        echo "tlsd-smoke: Prometheus exposition missing $NEEDLE" >&2
+        cat "$TMP/snap-metrics.prom" >&2
+        exit 1
+    }
+done
+PROMLINT_FILE="$TMP/snap-metrics.prom" go test -count=1 -run TestLintPromFile ./internal/telemetry >/dev/null || {
+    echo "tlsd-smoke: snapshot Prometheus exposition failed the format linter" >&2
+    cat "$TMP/snap-metrics.prom" >&2
+    exit 1
+}
+grep -q '"msg":"job forked from snapshot"' "$TMP/tlsd2.jsonl" || {
+    echo "tlsd-smoke: structured log missing the snapshot fork" >&2
+    cat "$TMP/tlsd2.jsonl" >&2
+    exit 1
+}
 kill -TERM "$TLSD2_PID"
 STATUS=0
 wait "$TLSD2_PID" || STATUS=$?
@@ -304,4 +342,4 @@ if [ "$STATUS" != 0 ]; then
     exit 1
 fi
 
-echo "tlsd-smoke: ok (job $JOB byte-identical, cache hit, clean exposition, flight record, clean drain, disk-warm restart, chaos leg)"
+echo "tlsd-smoke: ok (job $JOB byte-identical, cache hit, clean exposition, flight record, clean drain, disk-warm restart, snapshot fork, chaos leg)"
